@@ -1,0 +1,90 @@
+// Command mttfcalc computes the paper's reliability metrics (Section 4) from
+// a thermal-trace CSV produced by tracegen (or any CSV with a time column
+// followed by per-core temperatures in degrees Celsius).
+//
+// Usage:
+//
+//	mttfcalc trace.csv
+//	tracegen -app tachyon | mttfcalc -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/reliability"
+	"repro/internal/trace"
+)
+
+func main() {
+	idleYears := flag.Float64("idle-mttf", 10, "calibration target: MTTF of an unstressed core, years")
+	warmup := flag.Float64("warmup", 0, "skip the first N seconds of the trace (cold-start ramp)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <trace.csv|->\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var r io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	mt, err := trace.ReadCSV(r)
+	if err != nil {
+		fatal(err)
+	}
+	if skip := int(*warmup / mt.IntervalS); skip > 0 && skip < mt.Len() {
+		for _, s := range mt.Cores {
+			s.Values = s.Values[skip:]
+		}
+	}
+
+	cp := reliability.DefaultCyclingParams()
+	ap := reliability.DefaultAgingParams()
+	// Both MTTF families scale linearly in their calibration constants, so
+	// retargeting the idle-core lifetime is a simple rescale.
+	if scale := *idleYears / 10; scale != 1 {
+		cp.ATC *= scale
+		ap.Alpha0 *= scale
+	}
+
+	fmt.Printf("trace: %d cores, %d samples at %.3f s (%.1f s)\n",
+		len(mt.Cores), mt.Len(), mt.IntervalS, mt.Cores[0].Duration())
+	fmt.Printf("%-6s %9s %9s %9s %14s %12s %12s\n",
+		"core", "avg(C)", "peak(C)", "cycles", "stress", "cycMTTF(y)", "ageMTTF(y)")
+	chipCyc, chipAge := math.Inf(1), math.Inf(1)
+	for i, s := range mt.Cores {
+		cycles := reliability.Rainflow(s.Values)
+		var n float64
+		for _, c := range cycles {
+			if c.Range > cp.TTh {
+				n += c.Count
+			}
+		}
+		stress := cp.ThermalStress(cycles)
+		cyc := cp.CyclingMTTF(cycles, s.Duration())
+		age := ap.AgingMTTFFromSeries(s.Values)
+		chipCyc = math.Min(chipCyc, cyc)
+		chipAge = math.Min(chipAge, age)
+		fmt.Printf("core%-2d %9.1f %9.1f %9.1f %14.3e %12.2f %12.2f\n",
+			i, s.Mean(), s.Max(), n, stress, cyc, age)
+	}
+	fmt.Printf("chip (worst core): cycling MTTF %.2f years, aging MTTF %.2f years\n", chipCyc, chipAge)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mttfcalc:", err)
+	os.Exit(1)
+}

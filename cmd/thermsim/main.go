@@ -1,0 +1,84 @@
+// Command thermsim regenerates the paper's tables and figures on the
+// simulated quad-core platform.
+//
+// Usage:
+//
+//	thermsim [-quick] [-repeats N] <experiment>...
+//	thermsim -list
+//	thermsim all
+//
+// Experiments: fig1, table2, fig3, fig45, fig6, fig7, fig8, table3, fig9,
+// plus the repository's ablation, seeds (RL-seed robustness) and manycore
+// (scalability) studies. -json emits machine-readable rows.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced sweeps (fast smoke mode)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON rows instead of tables")
+	repeats := flag.Int("repeats", 0, "seed repeats for learning-sensitive sweeps (0 = default)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-quick] [-repeats N] <experiment>...|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.ExperimentNames())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.ExperimentNames() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.ExperimentNames()
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Quick = *quick
+	cfg.Repeats = *repeats
+
+	if *asJSON {
+		all := map[string]any{}
+		for _, id := range ids {
+			rows, err := experiments.RunRows(cfg, id)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "thermsim: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			all[id] = rows
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "thermsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		out, err := experiments.Run(cfg, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "thermsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (completed in %v) ===\n%s\n", id, time.Since(start).Round(time.Millisecond), out)
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: run the paper's RL thermal manager on one application and
+// compare its lifetime against Linux's ondemand governor.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/governor"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Pick a workload: the tachyon ray tracer, input set 1 (the hot one).
+	app := workload.Tachyon(workload.Set1)
+
+	// 2. Run it under Linux's default thermal management (the ondemand
+	//    cpufreq governor with kernel load balancing).
+	linux, err := sim.Run(sim.DefaultRunConfig(), app, sim.LinuxPolicy{Kind: governor.Ondemand})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run the same workload under the proposed reinforcement-learning
+	//    controller (Algorithm 1): it learns which thread-to-core affinity
+	//    and CPU governor keep the chip in thermally safe states.
+	app = workload.Tachyon(workload.Set1) // fresh copy: workloads are stateful
+	proposed := &sim.ProposedPolicy{}
+	rl, err := sim.Run(sim.DefaultRunConfig(), app, proposed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Compare.
+	fmt.Println("policy            avg T    peak T   cycling MTTF  aging MTTF  exec time")
+	for _, r := range []*sim.Result{linux, rl} {
+		fmt.Printf("%-16s %5.1f C  %5.1f C  %9.2f y   %7.2f y   %6.1f s\n",
+			r.Policy, r.AvgTempC, r.PeakTempC, r.CyclingMTTF, r.AgingMTTF, r.ExecTimeS)
+	}
+	fmt.Printf("\naging-MTTF improvement: %.1fx (the paper reports ~2x for intra-application scenarios)\n",
+		rl.AgingMTTF/linux.AgingMTTF)
+
+	agent := proposed.Controller().Agent()
+	fmt.Printf("learning: %d decision epochs, final phase %v, %d re-learns, %d snapshot restores\n",
+		agent.Epochs(), agent.Phase(), agent.Relearns(), agent.Restores())
+}

@@ -1,0 +1,188 @@
+// Package baseline implements the comparator of the paper: the
+// reinforcement-learning dynamic thermal manager of Ge & Qiu (DAC 2011,
+// reference [7]), which the paper evaluates against in every experiment.
+//
+// The baseline differs from the proposed controller in exactly the ways the
+// paper highlights:
+//
+//   - its state is the *instantaneous* temperature sampled at the decision
+//     epoch (no separation of sampling interval and decision epoch, no
+//     windowed stress/aging computation);
+//   - its actions are DVFS levels only (no thread-to-core affinity);
+//   - its reward trades off instantaneous temperature against performance,
+//     ignoring thermal cycling entirely.
+//
+// The "modified [7]" variant of Section 6.2 additionally receives an
+// explicit application-switch notification from the application layer and
+// resets its Q-table, whereas the proposed approach detects switches
+// autonomously.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/rl"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the Ge & Qiu baseline controller.
+type Config struct {
+	// DecisionIntervalS is both the temperature sampling interval and the
+	// decision epoch (the conflation the paper criticizes). Ge & Qiu use a
+	// couple of seconds.
+	DecisionIntervalS float64
+	// TempMinC / TempMaxC bound the temperature state range.
+	TempMinC, TempMaxC float64
+	// TempBins is the number of temperature state intervals.
+	TempBins int
+	// TempWeight and PerfWeight shape the reward:
+	// R = -TempWeight*(T-TempMin)/(TempMax-TempMin) + PerfWeight*(P-Pc)/Pc.
+	TempWeight, PerfWeight float64
+	// Agent configures the Q-learning agent (NumStates/NumActions filled
+	// in by New).
+	Agent rl.AgentConfig
+	// ExplicitSwitch enables the modified variant: the controller resets
+	// its Q-table when the application layer signals a switch.
+	ExplicitSwitch bool
+}
+
+// DefaultConfig returns the baseline configuration used in the experiments.
+func DefaultConfig() Config {
+	return Config{
+		DecisionIntervalS: 2.0,
+		TempMinC:          30,
+		TempMaxC:          80,
+		TempBins:          10,
+		TempWeight:        0.8,
+		PerfWeight:        1.5,
+		Agent:             rl.DefaultAgentConfig(1, 1), // sized by New
+	}
+}
+
+// Controller is the Ge & Qiu DVFS-only learning controller.
+type Controller struct {
+	cfg   Config
+	p     *platform.Platform
+	agent *rl.Agent
+
+	sensorBuf  []float64
+	nextSample float64
+
+	prevState, prevAction int
+	havePrev              bool
+	lastWork              float64
+	lastDecision          float64
+	switchPending         bool
+}
+
+// New attaches a baseline controller to the platform. If cfg.ExplicitSwitch
+// is set and the workload is a Sequence, the controller registers for the
+// application-layer switch notification.
+func New(cfg Config, p *platform.Platform) (*Controller, error) {
+	if cfg.DecisionIntervalS <= 0 {
+		return nil, fmt.Errorf("baseline: decision interval must be positive, got %g", cfg.DecisionIntervalS)
+	}
+	if cfg.TempBins < 2 {
+		return nil, fmt.Errorf("baseline: need at least 2 temperature bins, got %d", cfg.TempBins)
+	}
+	if cfg.TempMaxC <= cfg.TempMinC {
+		return nil, fmt.Errorf("baseline: bad temperature range [%g, %g]", cfg.TempMinC, cfg.TempMaxC)
+	}
+	cfg.Agent.NumStates = cfg.TempBins
+	cfg.Agent.NumActions = len(p.Levels())
+	c := &Controller{
+		cfg:        cfg,
+		p:          p,
+		agent:      rl.NewAgent(cfg.Agent),
+		sensorBuf:  make([]float64, p.NumCores()),
+		nextSample: cfg.DecisionIntervalS,
+	}
+	if cfg.ExplicitSwitch {
+		if seq, ok := p.Workload().(*workload.Sequence); ok {
+			seq.SwitchNotify = func(*workload.Application) { c.switchPending = true }
+		}
+	}
+	return c, nil
+}
+
+// Agent exposes the learning agent.
+func (c *Controller) Agent() *rl.Agent { return c.agent }
+
+// stateOf discretizes the hottest instantaneous core temperature.
+func (c *Controller) stateOf(temps []float64) int {
+	max := temps[0]
+	for _, t := range temps[1:] {
+		if t > max {
+			max = t
+		}
+	}
+	span := c.cfg.TempMaxC - c.cfg.TempMinC
+	b := int((max - c.cfg.TempMinC) / span * float64(c.cfg.TempBins))
+	if b < 0 {
+		b = 0
+	}
+	if b >= c.cfg.TempBins {
+		b = c.cfg.TempBins - 1
+	}
+	return b
+}
+
+// Tick drives the controller; call once after every platform step.
+func (c *Controller) Tick() {
+	if c.p.Now()+1e-9 < c.nextSample {
+		return
+	}
+	c.nextSample += c.cfg.DecisionIntervalS
+
+	if c.switchPending {
+		// Modified [7]: explicit application-switch indication resets the
+		// learner.
+		c.agent.Relearn()
+		c.switchPending = false
+	}
+
+	temps := c.p.ReadSensors(c.sensorBuf)
+	state := c.stateOf(temps)
+
+	now := c.p.Now()
+	if c.havePrev {
+		work := c.p.Workload().CompletedWork()
+		dt := now - c.lastDecision
+		throughput := 0.0
+		if dt > 0 {
+			throughput = (work - c.lastWork) / dt
+		}
+		c.lastWork = work
+		reward := c.reward(state, throughput)
+		c.agent.Observe(c.prevState, c.prevAction, reward, state)
+	} else {
+		c.lastWork = c.p.Workload().CompletedWork()
+	}
+	c.lastDecision = now
+
+	action := c.agent.SelectAction(state)
+	for core := 0; core < c.p.NumCores(); core++ {
+		if err := c.p.SetCoreLevel(core, action); err != nil {
+			panic(err) // action indices are derived from the level table
+		}
+	}
+	c.prevState, c.prevAction = state, action
+	c.havePrev = true
+	c.agent.EndEpoch()
+}
+
+// reward is the Ge & Qiu performance-thermal trade-off: cooler states earn
+// more, missing the performance constraint costs.
+func (c *Controller) reward(state int, throughput float64) float64 {
+	tempNorm := float64(state) / float64(c.cfg.TempBins-1)
+	r := -c.cfg.TempWeight * tempNorm
+	if pc := c.p.Workload().PerfTarget(); pc > 0 {
+		perf := c.cfg.PerfWeight * (throughput - pc) / pc
+		if perf > 0.2 {
+			perf = 0.2
+		}
+		r += perf
+	}
+	return r
+}

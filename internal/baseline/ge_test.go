@@ -1,0 +1,135 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func fixture(t *testing.T, cfg Config, work workload.Workload) (*Controller, *platform.Platform) {
+	t.Helper()
+	p := platform.New(platform.DefaultConfig(), work)
+	c, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+func TestNewValidation(t *testing.T) {
+	app := workload.Tachyon(workload.Set3)
+	p := platform.New(platform.DefaultConfig(), app)
+	bad := DefaultConfig()
+	bad.DecisionIntervalS = 0
+	if _, err := New(bad, p); err == nil {
+		t.Error("expected error for zero interval")
+	}
+	bad = DefaultConfig()
+	bad.TempBins = 1
+	if _, err := New(bad, p); err == nil {
+		t.Error("expected error for 1 temperature bin")
+	}
+	bad = DefaultConfig()
+	bad.TempMaxC = bad.TempMinC
+	if _, err := New(bad, p); err == nil {
+		t.Error("expected error for empty temperature range")
+	}
+}
+
+func TestStateDiscretization(t *testing.T) {
+	c, _ := fixture(t, DefaultConfig(), workload.Tachyon(workload.Set3))
+	if got := c.stateOf([]float64{10, 10, 10, 10}); got != 0 {
+		t.Errorf("below-range temperature state = %d, want 0 (clamped)", got)
+	}
+	if got := c.stateOf([]float64{100, 30, 30, 30}); got != c.cfg.TempBins-1 {
+		t.Errorf("above-range temperature state = %d, want last bin", got)
+	}
+	// The hottest core defines the state.
+	low := c.stateOf([]float64{35, 35, 35, 35})
+	high := c.stateOf([]float64{35, 35, 70, 35})
+	if high <= low {
+		t.Errorf("hotter max temperature must raise the state: %d vs %d", high, low)
+	}
+}
+
+func TestControllerActsOnDVFSOnly(t *testing.T) {
+	c, p := fixture(t, DefaultConfig(), workload.Tachyon(workload.Set3))
+	for p.Now() < 10 {
+		p.Step()
+		c.Tick()
+	}
+	// All cores share one learned level (chip-wide decision) and no thread
+	// has an affinity mask (Ge & Qiu does not control placement).
+	levels := p.CoreLevels()
+	for _, l := range levels[1:] {
+		if l != levels[0] {
+			t.Errorf("cores at different levels %v; baseline sets all cores together", levels)
+		}
+	}
+	for i := range p.Workload().Threads() {
+		if p.Scheduler().Affinity(i) != 0 {
+			t.Errorf("thread %d has affinity mask; baseline must not pin threads", i)
+		}
+	}
+}
+
+func TestControllerLearnsOverTime(t *testing.T) {
+	c, p := fixture(t, DefaultConfig(), workload.Tachyon(workload.Set2))
+	for p.Now() < 120 && !p.Done() {
+		p.Step()
+		c.Tick()
+	}
+	if c.Agent().Epochs() < 50 {
+		t.Errorf("agent processed only %d epochs in 120 s at 2 s cadence", c.Agent().Epochs())
+	}
+	if c.Agent().Alpha() >= 1 {
+		t.Error("alpha never decayed")
+	}
+}
+
+func TestModifiedVariantRelearnsOnSwitch(t *testing.T) {
+	seq := workload.NewSequence(workload.Tachyon(workload.Set3), workload.MPEGDec(workload.Set3))
+	cfg := DefaultConfig()
+	cfg.ExplicitSwitch = true
+	c, p := fixture(t, cfg, seq)
+	for !p.Done() && p.Now() < 10000 {
+		p.Step()
+		c.Tick()
+	}
+	if !p.Done() {
+		t.Fatal("sequence did not finish")
+	}
+	if c.Agent().Relearns() != 1 {
+		t.Errorf("modified baseline relearns = %d, want 1 (one app switch)", c.Agent().Relearns())
+	}
+}
+
+func TestUnmodifiedVariantIgnoresSwitch(t *testing.T) {
+	seq := workload.NewSequence(workload.Tachyon(workload.Set3), workload.MPEGDec(workload.Set3))
+	c, p := fixture(t, DefaultConfig(), seq)
+	for !p.Done() && p.Now() < 10000 {
+		p.Step()
+		c.Tick()
+	}
+	if c.Agent().Relearns() != 0 {
+		t.Errorf("unmodified baseline relearns = %d, want 0", c.Agent().Relearns())
+	}
+}
+
+func TestRewardShape(t *testing.T) {
+	c, p := fixture(t, DefaultConfig(), workload.Tachyon(workload.Set3))
+	_ = p
+	// Cooler states earn more.
+	cool := c.reward(0, 100)
+	hot := c.reward(c.cfg.TempBins-1, 100)
+	if hot >= cool {
+		t.Errorf("hot state reward %g should be below cool %g", hot, cool)
+	}
+	// Meeting the constraint earns more than missing it.
+	meets := c.reward(3, 9.5)
+	misses := c.reward(3, 1.0)
+	if misses >= meets {
+		t.Errorf("missing constraint reward %g should be below meeting %g", misses, meets)
+	}
+}

@@ -1,0 +1,159 @@
+// Package core implements the paper's primary contribution: the
+// reinforcement-learning run-time thermal manager of Algorithm 1. The
+// controller samples the thermal sensors at one interval, aggregates the
+// samples into thermal stress (Eq. 6) and aging (Eq. 1) over a longer
+// decision epoch, and learns which combination of thread-to-core affinity
+// and CPU governor keeps the core in thermally safe states while meeting the
+// performance constraint (reward, Eq. 8). Moving averages of stress and
+// aging detect intra- vs inter-application workload variation and trigger
+// Q-table snapshot-restore or full re-learning (Section 5.4).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// Mapping is a thread-to-core affinity template. Thread i is pinned to core
+// Slots[i % len(Slots)]; a nil Slots leaves placement to the OS balancer
+// (the Linux default).
+type Mapping struct {
+	// Name labels the template in reports.
+	Name string
+	// Slots lists the target core per thread slot; nil means unpinned.
+	Slots []int
+}
+
+// String returns the mapping name.
+func (m Mapping) String() string { return m.Name }
+
+// DefaultMappings returns the affinity templates forming the M part of the
+// action space (Section 5.1 restricts the exponentially many masks to a few
+// alternatives). They are designed for 6 threads on 4 cores:
+//
+//   - os-default: no masks, kernel load balancing (the Fig. 1 red curve).
+//   - pack-2211: two cores run two threads each, two run one (the paper's
+//     motivational "user thread assignment").
+//   - diagonal: heavy slots placed on diagonally opposite cores, which are
+//     not laterally coupled on the 2x2 floorplan — spreads heat.
+//   - half-chip: everything on cores 0-1, keeping cores 2-3 cool.
+func DefaultMappings() []Mapping {
+	return []Mapping{
+		{Name: "os-default", Slots: nil},
+		{Name: "pack-2211", Slots: []int{0, 0, 1, 1, 2, 3}},
+		{Name: "diagonal", Slots: []int{0, 3, 0, 3, 1, 2}},
+		{Name: "half-chip", Slots: []int{0, 1, 0, 1, 0, 1}},
+	}
+}
+
+// GovernorChoice is the G part of an action: a governor kind plus the fixed
+// level for userspace.
+type GovernorChoice struct {
+	Kind governor.Kind
+	// Level is the DVFS level index used when Kind is Userspace.
+	Level int
+}
+
+// String renders e.g. "ondemand" or "userspace[2]".
+func (g GovernorChoice) String() string {
+	if g.Kind == governor.Userspace {
+		return fmt.Sprintf("userspace[%d]", g.Level)
+	}
+	return g.Kind.String()
+}
+
+// DefaultGovernorChoices returns the paper's governor set: the five cpufreq
+// governors with three frequency levels for userspace (Section 5.1).
+func DefaultGovernorChoices() []GovernorChoice {
+	return []GovernorChoice{
+		{Kind: governor.Ondemand},
+		{Kind: governor.Conservative},
+		{Kind: governor.Performance},
+		{Kind: governor.Powersave},
+		{Kind: governor.Userspace, Level: 0}, // 1.6 GHz
+		{Kind: governor.Userspace, Level: 2}, // 2.4 GHz
+		{Kind: governor.Userspace, Level: 4}, // 3.4 GHz
+	}
+}
+
+// Action pairs an affinity mapping with a governor choice:
+// aleph = (M x G) in the paper's notation.
+type Action struct {
+	Mapping  Mapping
+	Governor GovernorChoice
+}
+
+// String renders "pack-2211/ondemand".
+func (a Action) String() string { return a.Mapping.Name + "/" + a.Governor.String() }
+
+// BuildActions forms the cross product of mappings and governor choices.
+func BuildActions(mappings []Mapping, govs []GovernorChoice) []Action {
+	if len(mappings) == 0 || len(govs) == 0 {
+		panic("core: action space must be non-empty")
+	}
+	actions := make([]Action, 0, len(mappings)*len(govs))
+	for _, m := range mappings {
+		for _, g := range govs {
+			actions = append(actions, Action{Mapping: m, Governor: g})
+		}
+	}
+	return actions
+}
+
+// DefaultActions returns the controller's standard 12-action space: the four
+// mappings crossed with ondemand, powersave and 2.4 GHz userspace. This is
+// the "restricted" action space of Section 5.1 at the size the paper's
+// Fig. 8 identifies as a good learning-time/quality trade-off.
+func DefaultActions() []Action {
+	return BuildActions(DefaultMappings(), []GovernorChoice{
+		{Kind: governor.Ondemand},
+		{Kind: governor.Powersave},
+		{Kind: governor.Userspace, Level: 2},
+	})
+}
+
+// ActionSpaceOfSize builds a restricted action space with exactly n actions
+// (n >= 1), used by the Fig. 8 convergence sweep. Larger n adds more
+// mapping/governor combinations in a fixed priority order.
+func ActionSpaceOfSize(n int) []Action {
+	all := BuildActions(DefaultMappings(), DefaultGovernorChoices())
+	// Reorder so the most useful combinations come first: one governor per
+	// mapping before doubling up.
+	ms := len(DefaultMappings())
+	gs := len(DefaultGovernorChoices())
+	ordered := make([]Action, 0, len(all))
+	for g := 0; g < gs; g++ {
+		for m := 0; m < ms; m++ {
+			ordered = append(ordered, all[m*gs+g])
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(ordered) {
+		n = len(ordered)
+	}
+	return ordered[:n]
+}
+
+// Apply enforces the action on the platform: thread affinities via masks and
+// the governor on every core, exactly as Fig. 2's OS interface does.
+func (a Action) Apply(p *platform.Platform) error {
+	threads := p.Workload().Threads()
+	if a.Mapping.Slots == nil {
+		p.Scheduler().ClearAffinities()
+	} else {
+		for i := range threads {
+			core := a.Mapping.Slots[i%len(a.Mapping.Slots)]
+			mask := sched.AffinityMask(1) << uint(core)
+			if err := p.SetAffinity(i, mask); err != nil {
+				return fmt.Errorf("core: apply action %v: %w", a, err)
+			}
+		}
+	}
+	p.SetGovernorAll(a.Governor.Kind, a.Governor.Level)
+	return nil
+}

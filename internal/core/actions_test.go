@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func TestDefaultMappings(t *testing.T) {
+	maps := DefaultMappings()
+	if len(maps) != 4 {
+		t.Fatalf("len = %d, want 4", len(maps))
+	}
+	if maps[0].Slots != nil {
+		t.Error("first mapping must be the unpinned OS default")
+	}
+	for _, m := range maps[1:] {
+		if len(m.Slots) != 6 {
+			t.Errorf("mapping %s has %d slots, want 6", m.Name, len(m.Slots))
+		}
+		for _, c := range m.Slots {
+			if c < 0 || c > 3 {
+				t.Errorf("mapping %s targets invalid core %d", m.Name, c)
+			}
+		}
+	}
+}
+
+func TestGovernorChoiceString(t *testing.T) {
+	g := GovernorChoice{Kind: governor.Ondemand}
+	if g.String() != "ondemand" {
+		t.Errorf("String = %q", g.String())
+	}
+	u := GovernorChoice{Kind: governor.Userspace, Level: 2}
+	if u.String() != "userspace[2]" {
+		t.Errorf("String = %q", u.String())
+	}
+}
+
+func TestBuildActionsCrossProduct(t *testing.T) {
+	maps := DefaultMappings()
+	govs := DefaultGovernorChoices()
+	actions := BuildActions(maps, govs)
+	if len(actions) != len(maps)*len(govs) {
+		t.Fatalf("len = %d, want %d", len(actions), len(maps)*len(govs))
+	}
+	// No duplicates.
+	seen := map[string]bool{}
+	for _, a := range actions {
+		if seen[a.String()] {
+			t.Errorf("duplicate action %s", a)
+		}
+		seen[a.String()] = true
+	}
+}
+
+func TestBuildActionsPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BuildActions(nil, DefaultGovernorChoices())
+}
+
+func TestDefaultActionsSize(t *testing.T) {
+	if got := len(DefaultActions()); got != 12 {
+		t.Errorf("DefaultActions size = %d, want 12", got)
+	}
+}
+
+func TestActionSpaceOfSize(t *testing.T) {
+	for _, n := range []int{1, 4, 8, 12, 16} {
+		acts := ActionSpaceOfSize(n)
+		if len(acts) != n {
+			t.Errorf("ActionSpaceOfSize(%d) = %d actions", n, len(acts))
+		}
+	}
+	// Clamps.
+	if got := len(ActionSpaceOfSize(0)); got != 1 {
+		t.Errorf("size 0 -> %d, want 1", got)
+	}
+	max := len(DefaultMappings()) * len(DefaultGovernorChoices())
+	if got := len(ActionSpaceOfSize(1000)); got != max {
+		t.Errorf("size 1000 -> %d, want %d", got, max)
+	}
+	// The first few actions should cover distinct mappings (diversity
+	// before doubling up on governors).
+	acts := ActionSpaceOfSize(4)
+	seen := map[string]bool{}
+	for _, a := range acts {
+		seen[a.Mapping.Name] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("first 4 actions cover %d mappings, want 4", len(seen))
+	}
+}
+
+func testPlatform() *platform.Platform {
+	threads := make([]*workload.Thread, 6)
+	for i := range threads {
+		threads[i] = workload.NewThread(i, "t", []workload.Phase{
+			{Kind: workload.Burst, Work: 1e6, Activity: 0.9},
+		})
+	}
+	app := workload.NewApplication("t", threads, 0)
+	return platform.New(platform.DefaultConfig(), app)
+}
+
+func TestActionApplyPinsThreads(t *testing.T) {
+	p := testPlatform()
+	act := Action{
+		Mapping:  Mapping{Name: "pack", Slots: []int{0, 0, 1, 1, 2, 3}},
+		Governor: GovernorChoice{Kind: governor.Userspace, Level: 2},
+	}
+	if err := act.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	p.Step()
+	want := []int{0, 0, 1, 1, 2, 3}
+	for i, w := range want {
+		if got := p.Scheduler().Placement(i); got != w {
+			t.Errorf("thread %d on core %d, want %d", i, got, w)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		p.Step()
+	}
+	for c, l := range p.CoreLevels() {
+		if l != 2 {
+			t.Errorf("core %d at level %d, want pinned userspace level 2", c, l)
+		}
+	}
+}
+
+func TestActionApplyOSDefaultClearsMasks(t *testing.T) {
+	p := testPlatform()
+	pinned := Action{Mapping: Mapping{Name: "pin", Slots: []int{0, 0, 0, 0, 0, 0}}, Governor: GovernorChoice{Kind: governor.Ondemand}}
+	if err := pinned.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	free := Action{Mapping: Mapping{Name: "os-default"}, Governor: GovernorChoice{Kind: governor.Ondemand}}
+	if err := free.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if p.Scheduler().Affinity(i) != 0 {
+			t.Errorf("thread %d still has mask %v after os-default", i, p.Scheduler().Affinity(i))
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	a := Action{
+		Mapping:  Mapping{Name: "diagonal"},
+		Governor: GovernorChoice{Kind: governor.Powersave},
+	}
+	if a.String() != "diagonal/powersave" {
+		t.Errorf("String = %q", a.String())
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/rl"
+)
+
+// libraryEntry stores one learned application policy keyed by its thermal
+// signature (the normalized stress/aging moving averages latched after
+// convergence).
+type libraryEntry struct {
+	sigStress, sigAging float64
+	q                   *rl.QTable
+}
+
+// signatureLibrary extends the paper's dual-Q-table idea (Section 5.4) from
+// two tables to a small library: when an inter-application variation is
+// detected, the outgoing application's converged policy is stashed under its
+// signature; once the new application's signature stabilizes, a matching
+// stored policy is adopted directly instead of re-learning from scratch.
+// This turns A-B-A application switching — the common case on real systems —
+// from two full re-learns into one.
+type signatureLibrary struct {
+	entries []libraryEntry
+	// tolerance is the max normalized distance per axis for a match.
+	tolerance float64
+	// capacity bounds the library (FIFO eviction).
+	capacity int
+}
+
+func newSignatureLibrary(tolerance float64, capacity int) *signatureLibrary {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &signatureLibrary{tolerance: tolerance, capacity: capacity}
+}
+
+// store saves (or refreshes) the policy for a signature.
+func (l *signatureLibrary) store(sigStress, sigAging float64, q *rl.QTable) {
+	// Refresh an existing entry for (approximately) the same signature.
+	for i := range l.entries {
+		if l.matches(l.entries[i], sigStress, sigAging) {
+			l.entries[i].q = q.Clone()
+			l.entries[i].sigStress = sigStress
+			l.entries[i].sigAging = sigAging
+			return
+		}
+	}
+	if len(l.entries) >= l.capacity {
+		l.entries = l.entries[1:]
+	}
+	l.entries = append(l.entries, libraryEntry{sigStress: sigStress, sigAging: sigAging, q: q.Clone()})
+}
+
+// lookup returns the stored policy whose signature is closest to the query
+// within tolerance, or nil.
+func (l *signatureLibrary) lookup(sigStress, sigAging float64) *rl.QTable {
+	q, _, _ := l.lookupWithin(sigStress, sigAging, l.tolerance)
+	return q
+}
+
+// lookupWithin is lookup with an explicit per-axis tolerance; it also
+// returns the matched entry's signature so callers can verify the adoption
+// later.
+func (l *signatureLibrary) lookupWithin(sigStress, sigAging, tol float64) (*rl.QTable, float64, float64) {
+	best := -1
+	bestDist := math.Inf(1)
+	for i, e := range l.entries {
+		if math.Abs(e.sigStress-sigStress) > tol || math.Abs(e.sigAging-sigAging) > tol {
+			continue
+		}
+		d := math.Abs(e.sigStress-sigStress) + math.Abs(e.sigAging-sigAging)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		return nil, 0, 0
+	}
+	return l.entries[best].q, l.entries[best].sigStress, l.entries[best].sigAging
+}
+
+func (l *signatureLibrary) matches(e libraryEntry, sigStress, sigAging float64) bool {
+	return math.Abs(e.sigStress-sigStress) <= l.tolerance &&
+		math.Abs(e.sigAging-sigAging) <= l.tolerance
+}
+
+// size returns the number of stored policies.
+func (l *signatureLibrary) size() int { return len(l.entries) }
+
+// libraryEntryJSON is the serialized form of a stored policy.
+type libraryEntryJSON struct {
+	SigStress float64    `json:"sig_stress"`
+	SigAging  float64    `json:"sig_aging"`
+	Q         *rl.QTable `json:"q"`
+}
+
+// export serializes the entries.
+func (l *signatureLibrary) export() []libraryEntryJSON {
+	out := make([]libraryEntryJSON, len(l.entries))
+	for i, e := range l.entries {
+		out[i] = libraryEntryJSON{SigStress: e.sigStress, SigAging: e.sigAging, Q: e.q.Clone()}
+	}
+	return out
+}
+
+// restore replaces the entries from a serialized form.
+func (l *signatureLibrary) restore(entries []libraryEntryJSON) {
+	l.entries = l.entries[:0]
+	for _, e := range entries {
+		if e.Q == nil {
+			continue
+		}
+		l.store(e.SigStress, e.SigAging, e.Q)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/rl"
+	"repro/internal/workload"
+)
+
+func TestSignatureLibraryStoreLookup(t *testing.T) {
+	lib := newSignatureLibrary(0.1, 4)
+	q1 := rl.NewQTable(2, 2)
+	q1.Set(0, 0, 1)
+	lib.store(0.3, 0.4, q1)
+	if lib.size() != 1 {
+		t.Fatalf("size = %d", lib.size())
+	}
+	// Exact and near matches hit.
+	if lib.lookup(0.3, 0.4) == nil {
+		t.Error("exact lookup missed")
+	}
+	if lib.lookup(0.35, 0.45) == nil {
+		t.Error("near lookup missed")
+	}
+	// Far signatures miss.
+	if lib.lookup(0.8, 0.4) != nil {
+		t.Error("far lookup should miss")
+	}
+	// The stored table is a copy.
+	got := lib.lookup(0.3, 0.4)
+	q1.Set(0, 0, -9)
+	if got.Get(0, 0) != 1 {
+		t.Error("library must deep-copy stored tables")
+	}
+}
+
+func TestSignatureLibraryRefreshAndEvict(t *testing.T) {
+	lib := newSignatureLibrary(0.1, 2)
+	q := rl.NewQTable(1, 1)
+	lib.store(0.1, 0.1, q)
+	lib.store(0.12, 0.1, q) // within tolerance: refresh, not append
+	if lib.size() != 1 {
+		t.Fatalf("refresh appended: size = %d", lib.size())
+	}
+	lib.store(0.5, 0.5, q)
+	lib.store(0.9, 0.9, q) // capacity 2: evicts the oldest
+	if lib.size() != 2 {
+		t.Fatalf("size = %d, want 2", lib.size())
+	}
+	if lib.lookup(0.1, 0.1) != nil {
+		t.Error("oldest entry should have been evicted")
+	}
+	if lib.lookup(0.9, 0.9) == nil {
+		t.Error("newest entry missing")
+	}
+}
+
+func TestSignatureLibraryClosestWins(t *testing.T) {
+	lib := newSignatureLibrary(0.2, 4)
+	qA := rl.NewQTable(1, 1)
+	qA.Set(0, 0, 111)
+	qB := rl.NewQTable(1, 1)
+	qB.Set(0, 0, 222)
+	lib.store(0.30, 0.30, qA)
+	lib.store(0.45, 0.45, qB)
+	got := lib.lookup(0.44, 0.44)
+	if got == nil || got.Get(0, 0) != 222 {
+		t.Error("lookup should return the closest matching entry")
+	}
+}
+
+// An A-B-A application sequence: with the signature library the controller
+// re-recognizes application A and adopts its stored policy instead of
+// re-exploring.
+func TestControllerSignatureLibraryABA(t *testing.T) {
+	mk := func() *workload.Sequence {
+		return workload.NewSequence(
+			workload.Tachyon(workload.Set1),
+			workload.MPEGDec(workload.Set1),
+			workload.Tachyon(workload.Set1),
+		)
+	}
+	run := func(useLib bool) (*Controller, float64) {
+		seq := mk()
+		p := platform.New(platform.DefaultConfig(), seq)
+		cfg := DefaultConfig()
+		cfg.UseSignatureLibrary = useLib
+		c, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !p.Done() && p.Now() < 20000 {
+			p.Step()
+			c.Tick()
+		}
+		if !p.Done() {
+			t.Fatal("sequence did not finish")
+		}
+		return c, p.Now()
+	}
+	with, _ := run(true)
+	if with.Agent().Relearns() == 0 {
+		t.Error("switches should still trigger relearns")
+	}
+	if with.Agent().Adoptions() == 0 {
+		t.Error("returning to tachyon should adopt the stored policy")
+	}
+	if with.LibrarySize() == 0 {
+		t.Error("library should hold stored policies")
+	}
+	without, _ := run(false)
+	if without.Agent().Adoptions() != 0 {
+		t.Error("adoptions must be zero without the library")
+	}
+	if without.LibrarySize() != 0 {
+		t.Error("LibrarySize must be 0 when disabled")
+	}
+}
+
+func TestLibraryPersistsWithControllerState(t *testing.T) {
+	seq := workload.NewSequence(workload.Tachyon(workload.Set1), workload.MPEGDec(workload.Set1))
+	p := platform.New(platform.DefaultConfig(), seq)
+	cfg := DefaultConfig()
+	cfg.UseSignatureLibrary = true
+	c, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !p.Done() && p.Now() < 20000 {
+		p.Step()
+		c.Tick()
+	}
+	if c.LibrarySize() == 0 {
+		t.Skip("no library entries formed this run")
+	}
+	var buf bytes.Buffer
+	if err := c.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Reload into a fresh controller.
+	p2 := platform.New(platform.DefaultConfig(),
+		workload.NewSequence(workload.Tachyon(workload.Set1), workload.MPEGDec(workload.Set1)))
+	c2, err := New(cfg, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if c2.LibrarySize() != c.LibrarySize() {
+		t.Errorf("library size after reload = %d, want %d", c2.LibrarySize(), c.LibrarySize())
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import "math"
+
+// RewardConfig parameterizes the reward function of Eq. 8.
+type RewardConfig struct {
+	// GaussMu and GaussSigma shape the learning weights K1/K2: Gaussian
+	// functions of the normalized stress/aging values. The paper centers
+	// them away from both the thermally unstable and the fully stable
+	// extremes to prevent Q-table clustering.
+	GaussMu, GaussSigma float64
+	// HeavyWeight and LightWeight are the two (a, b) importance values;
+	// which quantity receives the heavy weight depends on whether stress
+	// or aging dominates the epoch (Section 5.2: a > b for mpeg-like
+	// cycling-heavy workloads, b > a for tachyon-like hot workloads).
+	HeavyWeight, LightWeight float64
+	// PerfWeight scales the performance term. The paper writes the term as
+	// (Pc - P) while describing it as negative when the requirement is not
+	// met; we implement the described semantics, i.e. w * (P - Pc)/Pc,
+	// which penalizes under-performance (see DESIGN.md).
+	PerfWeight float64
+}
+
+// DefaultRewardConfig returns the tuned reward shape.
+func DefaultRewardConfig() RewardConfig {
+	return RewardConfig{
+		GaussMu:     0.45,
+		GaussSigma:  0.35,
+		HeavyWeight: 0.7,
+		LightWeight: 0.3,
+		PerfWeight:  1.2,
+	}
+}
+
+// Reward evaluates Eq. 8 for the epoch's metrics under the given state
+// space and performance constraint pc (giga-cycles/s; zero disables the
+// performance term).
+//
+// Unsafe states (last stress or aging interval) are penalized with
+// -(sBin+1)*(aBin+1), so deeper violations cost more. Safe states earn
+// f = a*K1*(1-sNorm) + b*K2*(1-aNorm) plus the performance term.
+func (rc RewardConfig) Reward(m EpochMetrics, ss StateSpace, pc float64) float64 {
+	sBin := ss.StressBin(m.Stress)
+	aBin := ss.AgingBin(m.Aging)
+	if ss.Unsafe(sBin, aBin) {
+		return -float64((sBin + 1) * (aBin + 1))
+	}
+	sN := clamp01(m.Stress / ss.StressMax)
+	aN := clamp01((m.Aging - ss.AgingMin) / (ss.AgingMax - ss.AgingMin))
+	k1 := rc.gauss(sN)
+	k2 := rc.gauss(aN)
+	a, b := rc.LightWeight, rc.HeavyWeight
+	if sN > aN {
+		// Stress dominates (mpeg-like): weight stress more.
+		a, b = rc.HeavyWeight, rc.LightWeight
+	}
+	f := a*k1*(1-sN) + b*k2*(1-aN)
+	if pc > 0 {
+		perf := rc.PerfWeight * (m.Throughput - pc) / pc
+		// Over-achieving the constraint earns no extra credit beyond a
+		// small bonus; under-achieving is penalized proportionally.
+		if perf > 0.2 {
+			perf = 0.2
+		}
+		f += perf
+	}
+	return f
+}
+
+func (rc RewardConfig) gauss(x float64) float64 {
+	d := (x - rc.GaussMu) / rc.GaussSigma
+	return math.Exp(-0.5 * d * d)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

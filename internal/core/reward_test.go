@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func safeMetrics(ss StateSpace) EpochMetrics {
+	return EpochMetrics{
+		Stress: ss.StressMax * 0.2,
+		Aging:  ss.AgingMin + 0.2*(ss.AgingMax-ss.AgingMin),
+	}
+}
+
+func TestRewardUnsafePenalty(t *testing.T) {
+	rc := DefaultRewardConfig()
+	ss := DefaultStateSpace()
+	// Stress in the unsafe last interval.
+	m := EpochMetrics{Stress: ss.StressMax * 2, Aging: ss.AgingMin}
+	if r := rc.Reward(m, ss, 0); r >= 0 {
+		t.Errorf("unsafe stress reward = %g, want negative", r)
+	}
+	// Aging in the unsafe last interval.
+	m = EpochMetrics{Stress: 0, Aging: ss.AgingMax * 2}
+	if r := rc.Reward(m, ss, 0); r >= 0 {
+		t.Errorf("unsafe aging reward = %g, want negative", r)
+	}
+	// Deeper violation -> larger penalty magnitude.
+	shallow := rc.Reward(EpochMetrics{Stress: ss.StressMax, Aging: ss.AgingMin}, ss, 0)
+	deep := rc.Reward(EpochMetrics{Stress: ss.StressMax, Aging: ss.AgingMax}, ss, 0)
+	if deep >= shallow {
+		t.Errorf("deeper violation %g should be worse than %g", deep, shallow)
+	}
+}
+
+func TestRewardSafePositiveWithoutConstraint(t *testing.T) {
+	rc := DefaultRewardConfig()
+	ss := DefaultStateSpace()
+	if r := rc.Reward(safeMetrics(ss), ss, 0); r <= 0 {
+		t.Errorf("safe-state reward = %g, want positive", r)
+	}
+}
+
+func TestRewardPerformanceTerm(t *testing.T) {
+	rc := DefaultRewardConfig()
+	ss := DefaultStateSpace()
+	m := safeMetrics(ss)
+	m.Throughput = 5
+	meets := rc.Reward(m, ss, 5)
+	m.Throughput = 2.5
+	misses := rc.Reward(m, ss, 5)
+	if misses >= meets {
+		t.Errorf("missing the constraint (%g) should cost vs meeting it (%g)", misses, meets)
+	}
+	// Over-achievement bonus is capped.
+	m.Throughput = 500
+	over := rc.Reward(m, ss, 5)
+	if over > meets+0.21 {
+		t.Errorf("over-achievement reward %g exceeds cap relative to %g", over, meets)
+	}
+}
+
+func TestRewardZeroConstraintIgnoresPerformance(t *testing.T) {
+	rc := DefaultRewardConfig()
+	ss := DefaultStateSpace()
+	m := safeMetrics(ss)
+	m.Throughput = 1
+	a := rc.Reward(m, ss, 0)
+	m.Throughput = 100
+	b := rc.Reward(m, ss, 0)
+	if a != b {
+		t.Errorf("with pc=0 throughput must not matter: %g vs %g", a, b)
+	}
+}
+
+// The Gaussian learning weights peak away from the extremes: a mid-range
+// stress state must earn more than both a near-zero and a near-max one, all
+// else equal (the paper's anti-clustering design).
+func TestRewardGaussianShape(t *testing.T) {
+	rc := DefaultRewardConfig()
+	k0 := rc.gauss(0)
+	kMid := rc.gauss(rc.GaussMu)
+	k1 := rc.gauss(1)
+	if !(kMid > k0 && kMid > k1) {
+		t.Errorf("gaussian should peak at mu: K(0)=%g K(mu)=%g K(1)=%g", k0, kMid, k1)
+	}
+}
+
+// Property: reward is finite for all inputs in a wide range.
+func TestRewardFinite(t *testing.T) {
+	rc := DefaultRewardConfig()
+	ss := DefaultStateSpace()
+	f := func(sRaw, aRaw, tput uint16) bool {
+		m := EpochMetrics{
+			Stress:     float64(sRaw) / 65535 * ss.StressMax * 3,
+			Aging:      float64(aRaw) / 65535 * ss.AgingMax * 3,
+			Throughput: float64(tput) / 1000,
+		}
+		r := rc.Reward(m, ss, 5)
+		return r > -1e6 && r < 1e6 && r == r // not NaN
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if clamp01(-0.5) != 0 || clamp01(1.5) != 1 || clamp01(0.3) != 0.3 {
+		t.Error("clamp01 misbehaves")
+	}
+}

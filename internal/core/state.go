@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/reliability"
+	"repro/internal/trace"
+)
+
+// StateSpace discretizes the (stress, aging) environment of Section 5.1:
+// the working range of each quantity is divided into disjoint intervals and
+// the environment is their cross product E = A x S. The last interval of
+// each axis is the thermally unsafe zone that the reward function penalizes.
+type StateSpace struct {
+	// StressBins and AgingBins are the interval counts Ns and Na.
+	StressBins, AgingBins int
+	// StressMax is the top of the stress working range; epoch stress at or
+	// above it lands in the unsafe last bin.
+	StressMax float64
+	// AgingMin and AgingMax bound the aging working range (aging never
+	// reaches zero — an idle core still ages at 1/alpha(T_idle)).
+	AgingMin, AgingMax float64
+}
+
+// DefaultStateSpace returns the 12-state (4 stress x 3 aging) discretization
+// the Fig. 8 sweep identifies as a good trade-off, with working ranges
+// calibrated to the simulated platform's epoch-level stress and aging
+// magnitudes.
+func DefaultStateSpace() StateSpace {
+	return StateSpace{
+		StressBins: 4,
+		AgingBins:  3,
+		StressMax:  2e-6,
+		AgingMin:   0.08,
+		AgingMax:   0.55,
+	}
+}
+
+// StateSpaceOfSize builds a discretization with approximately n total states
+// (n is rounded to the nearest supported factorization), used by the Fig. 8
+// sweep. Supported sizes: 4 (2x2), 6 (3x2), 8 (4x2), 9 (3x3), 12 (4x3),
+// 16 (4x4).
+func StateSpaceOfSize(n int) StateSpace {
+	ss := DefaultStateSpace()
+	switch {
+	case n <= 4:
+		ss.StressBins, ss.AgingBins = 2, 2
+	case n <= 6:
+		ss.StressBins, ss.AgingBins = 3, 2
+	case n <= 8:
+		ss.StressBins, ss.AgingBins = 4, 2
+	case n <= 9:
+		ss.StressBins, ss.AgingBins = 3, 3
+	case n <= 12:
+		ss.StressBins, ss.AgingBins = 4, 3
+	default:
+		ss.StressBins, ss.AgingBins = 4, 4
+	}
+	return ss
+}
+
+// NumStates returns |S| * |A|.
+func (ss StateSpace) NumStates() int { return ss.StressBins * ss.AgingBins }
+
+// StressBin maps an epoch stress value to its interval index; values at or
+// beyond StressMax land in the last (unsafe) bin.
+func (ss StateSpace) StressBin(stress float64) int {
+	return binOf(stress, 0, ss.StressMax, ss.StressBins)
+}
+
+// AgingBin maps an epoch aging value to its interval index; values at or
+// beyond AgingMax land in the last (unsafe) bin.
+func (ss StateSpace) AgingBin(aging float64) int {
+	return binOf(aging, ss.AgingMin, ss.AgingMax, ss.AgingBins)
+}
+
+func binOf(v, lo, hi float64, bins int) int {
+	if v <= lo {
+		return 0
+	}
+	if v >= hi {
+		return bins - 1
+	}
+	b := int((v - lo) / (hi - lo) * float64(bins))
+	if b >= bins {
+		b = bins - 1
+	}
+	return b
+}
+
+// State encodes (stressBin, agingBin) into a single index for the Q-table.
+func (ss StateSpace) State(stressBin, agingBin int) int {
+	if stressBin < 0 || stressBin >= ss.StressBins || agingBin < 0 || agingBin >= ss.AgingBins {
+		panic(fmt.Sprintf("core: state bins (%d,%d) out of range %dx%d",
+			stressBin, agingBin, ss.StressBins, ss.AgingBins))
+	}
+	return agingBin*ss.StressBins + stressBin
+}
+
+// Unsafe reports whether the bin pair lies in an unsafe zone (last interval
+// on either axis), the penalized branch of Eq. 8.
+func (ss StateSpace) Unsafe(stressBin, agingBin int) bool {
+	return stressBin == ss.StressBins-1 || agingBin == ss.AgingBins-1
+}
+
+// EpochMetrics are the per-epoch quantities the controller derives from the
+// recorded sensor samples TRec.
+type EpochMetrics struct {
+	// Stress is the chip thermal stress of the epoch window (Eq. 6),
+	// averaged over cores.
+	Stress float64
+	// Aging is the chip aging rate of the epoch window (Eq. 1), averaged
+	// over cores, in 1/years.
+	Aging float64
+	// AvgTemp and PeakTemp summarize the window.
+	AvgTemp, PeakTemp float64
+	// Throughput is the work completed during the epoch divided by its
+	// duration, giga-cycles per second.
+	Throughput float64
+}
+
+// ComputeEpochMetrics evaluates stress and aging over one decision epoch of
+// recorded per-core temperature samples. rec[c] is the sample series of core
+// c at the controller's sampling interval; workDone is the work completed in
+// the window and windowS its duration in seconds.
+func ComputeEpochMetrics(rec [][]float64, sampleIntervalS, workDone, windowS float64,
+	cp reliability.CyclingParams, ap reliability.AgingParams) EpochMetrics {
+	var m EpochMetrics
+	if len(rec) == 0 || len(rec[0]) == 0 {
+		return m
+	}
+	var peak float64
+	var avgSum float64
+	for _, series := range rec {
+		cycles := reliability.Rainflow(series)
+		m.Stress += cp.ThermalStress(cycles)
+		m.Aging += ap.AgingFromSeries(series)
+		avgSum += trace.Mean(series)
+		if mx := trace.Max(series); mx > peak {
+			peak = mx
+		}
+	}
+	n := float64(len(rec))
+	m.Stress /= n
+	m.Aging /= n
+	m.AvgTemp = avgSum / n
+	m.PeakTemp = peak
+	if windowS > 0 {
+		m.Throughput = workDone / windowS
+	}
+	return m
+}

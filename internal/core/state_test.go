@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/reliability"
+)
+
+func TestStateSpaceOfSizeFactorizations(t *testing.T) {
+	cases := map[int][2]int{
+		1:   {2, 2},
+		4:   {2, 2},
+		6:   {3, 2},
+		8:   {4, 2},
+		9:   {3, 3},
+		12:  {4, 3},
+		16:  {4, 4},
+		100: {4, 4},
+	}
+	for n, want := range cases {
+		ss := StateSpaceOfSize(n)
+		if ss.StressBins != want[0] || ss.AgingBins != want[1] {
+			t.Errorf("StateSpaceOfSize(%d) = %dx%d, want %dx%d", n, ss.StressBins, ss.AgingBins, want[0], want[1])
+		}
+	}
+}
+
+func TestStateSpaceBinning(t *testing.T) {
+	ss := DefaultStateSpace()
+	if ss.StressBin(0) != 0 {
+		t.Error("zero stress must be bin 0")
+	}
+	if ss.StressBin(-1) != 0 {
+		t.Error("negative stress clamps to bin 0")
+	}
+	if got := ss.StressBin(ss.StressMax); got != ss.StressBins-1 {
+		t.Errorf("stress at max = bin %d, want last bin %d", got, ss.StressBins-1)
+	}
+	if got := ss.StressBin(ss.StressMax * 100); got != ss.StressBins-1 {
+		t.Errorf("stress above max = bin %d, want last bin", got)
+	}
+	if got := ss.AgingBin(ss.AgingMin); got != 0 {
+		t.Errorf("aging at min = bin %d, want 0", got)
+	}
+	if got := ss.AgingBin(ss.AgingMax + 1); got != ss.AgingBins-1 {
+		t.Errorf("aging above max = bin %d, want last bin", got)
+	}
+}
+
+// Property: bins are monotone in their inputs and always in range.
+func TestBinsMonotoneAndInRange(t *testing.T) {
+	ss := DefaultStateSpace()
+	f := func(a, b uint16) bool {
+		x := float64(a) / 65535 * ss.StressMax * 2
+		y := float64(b) / 65535 * ss.StressMax * 2
+		if x > y {
+			x, y = y, x
+		}
+		bx, by := ss.StressBin(x), ss.StressBin(y)
+		return bx <= by && bx >= 0 && by < ss.StressBins
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateEncoding(t *testing.T) {
+	ss := DefaultStateSpace()
+	seen := map[int]bool{}
+	for a := 0; a < ss.AgingBins; a++ {
+		for s := 0; s < ss.StressBins; s++ {
+			idx := ss.State(s, a)
+			if idx < 0 || idx >= ss.NumStates() {
+				t.Fatalf("state (%d,%d) -> %d out of range", s, a, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("state collision at %d", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != ss.NumStates() {
+		t.Errorf("encoded %d states, want %d", len(seen), ss.NumStates())
+	}
+}
+
+func TestStatePanicsOutOfRange(t *testing.T) {
+	ss := DefaultStateSpace()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ss.State(ss.StressBins, 0)
+}
+
+func TestUnsafeZone(t *testing.T) {
+	ss := DefaultStateSpace()
+	if ss.Unsafe(0, 0) {
+		t.Error("(0,0) should be safe")
+	}
+	if !ss.Unsafe(ss.StressBins-1, 0) {
+		t.Error("last stress bin should be unsafe")
+	}
+	if !ss.Unsafe(0, ss.AgingBins-1) {
+		t.Error("last aging bin should be unsafe")
+	}
+}
+
+func TestComputeEpochMetrics(t *testing.T) {
+	cp := reliability.DefaultCyclingParams()
+	ap := reliability.DefaultAgingParams()
+	// Two cores: one cycling hot, one steady cool.
+	rec := [][]float64{
+		{40, 60, 40, 60, 40, 60},
+		{35, 35, 35, 35, 35, 35},
+	}
+	m := ComputeEpochMetrics(rec, 3, 90, 18, cp, ap)
+	if m.Stress <= 0 {
+		t.Error("cycling core must produce positive stress")
+	}
+	if m.Aging <= 0 {
+		t.Error("aging must be positive")
+	}
+	wantAvg := (50.0 + 35.0) / 2
+	if math.Abs(m.AvgTemp-wantAvg) > 1e-9 {
+		t.Errorf("AvgTemp = %g, want %g", m.AvgTemp, wantAvg)
+	}
+	if m.PeakTemp != 60 {
+		t.Errorf("PeakTemp = %g, want 60", m.PeakTemp)
+	}
+	if math.Abs(m.Throughput-5) > 1e-9 {
+		t.Errorf("Throughput = %g, want 5", m.Throughput)
+	}
+}
+
+func TestComputeEpochMetricsEmpty(t *testing.T) {
+	cp := reliability.DefaultCyclingParams()
+	ap := reliability.DefaultAgingParams()
+	if m := ComputeEpochMetrics(nil, 3, 0, 0, cp, ap); m.Stress != 0 || m.Aging != 0 {
+		t.Error("empty record must yield zero metrics")
+	}
+	if m := ComputeEpochMetrics([][]float64{{}}, 3, 0, 0, cp, ap); m.Stress != 0 {
+		t.Error("empty series must yield zero metrics")
+	}
+}
+
+// Hotter windows must produce more aging; swingier windows more stress.
+func TestEpochMetricsOrdering(t *testing.T) {
+	cp := reliability.DefaultCyclingParams()
+	ap := reliability.DefaultAgingParams()
+	cool := ComputeEpochMetrics([][]float64{{40, 40, 40, 40}}, 3, 0, 12, cp, ap)
+	hot := ComputeEpochMetrics([][]float64{{70, 70, 70, 70}}, 3, 0, 12, cp, ap)
+	if hot.Aging <= cool.Aging {
+		t.Error("hotter window must age more")
+	}
+	steady := ComputeEpochMetrics([][]float64{{50, 50, 50, 50, 50, 50}}, 3, 0, 18, cp, ap)
+	swingy := ComputeEpochMetrics([][]float64{{40, 60, 40, 60, 40, 60}}, 3, 0, 18, cp, ap)
+	if swingy.Stress <= steady.Stress {
+		t.Error("swingier window must stress more")
+	}
+}

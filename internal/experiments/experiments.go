@@ -1,0 +1,263 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) on the simulated platform. Each experiment has a
+// function returning typed rows plus a Format helper that prints the same
+// layout the paper reports. The cmd/thermsim binary and the repository's
+// benchmarks are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/governor"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the experiment harness.
+type Config struct {
+	// Run is the base simulation configuration shared by every run.
+	Run sim.RunConfig
+	// Quick shrinks sweeps to a representative subset (used by unit tests
+	// and smoke runs).
+	Quick bool
+	// Repeats averages learning-sensitive sweeps (Fig. 7) over this many
+	// RL seeds; 0 means the default of 3 (1 in Quick mode).
+	Repeats int
+}
+
+// DefaultConfig returns the full-fidelity configuration.
+func DefaultConfig() Config {
+	return Config{Run: sim.DefaultRunConfig()}
+}
+
+// repeats resolves the effective repeat count.
+func (c Config) repeats() int {
+	if c.Repeats > 0 {
+		return c.Repeats
+	}
+	if c.Quick {
+		return 1
+	}
+	return 3
+}
+
+// Policy names accepted by NewPolicy, in the order the paper's tables list
+// them.
+const (
+	PolicyLinuxOndemand  = "linux-ondemand"
+	PolicyLinuxPowersave = "linux-powersave"
+	PolicyLinux24        = "linux-2.4GHz"
+	PolicyLinux34        = "linux-3.4GHz"
+	PolicyGe             = "ge-qiu"
+	PolicyGeModified     = "ge-qiu-modified"
+	PolicyThrottle       = "reactive-throttle"
+	PolicyProposed       = "proposed"
+)
+
+// NewPolicy builds a fresh policy instance by name. Policies are stateful,
+// so a new instance is required per run.
+func NewPolicy(name string) (sim.Policy, error) {
+	switch name {
+	case PolicyLinuxOndemand:
+		return sim.LinuxPolicy{Kind: governor.Ondemand}, nil
+	case PolicyLinuxPowersave:
+		return sim.LinuxPolicy{Kind: governor.Powersave}, nil
+	case PolicyLinux24:
+		return sim.LinuxPolicy{Kind: governor.Userspace, Level: 2, Label: PolicyLinux24}, nil
+	case PolicyLinux34:
+		return sim.LinuxPolicy{Kind: governor.Userspace, Level: 4, Label: PolicyLinux34}, nil
+	case PolicyGe:
+		return &sim.GePolicy{}, nil
+	case PolicyGeModified:
+		return &sim.GePolicy{Modified: true}, nil
+	case PolicyThrottle:
+		return sim.DefaultThrottlePolicy(), nil
+	case PolicyProposed:
+		return &sim.ProposedPolicy{}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// runApp executes one (app, dataset, policy) combination.
+func runApp(cfg Config, appName string, ds workload.DataSet, policy string) (*sim.Result, error) {
+	app, err := workload.ByName(appName, ds)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := NewPolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg.Run, app, pol)
+}
+
+// scenarioApps parses "mpegdec-tachyon-mpegenc" into its applications.
+func scenarioApps(scenario string, ds workload.DataSet) (*workload.Sequence, error) {
+	parts := strings.Split(scenario, "-")
+	apps := make([]*workload.Application, 0, len(parts))
+	for _, p := range parts {
+		app, err := workload.ByName(p, ds)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %q: %w", scenario, err)
+		}
+		apps = append(apps, app)
+	}
+	return workload.NewSequence(apps...), nil
+}
+
+// Names of all experiments, in paper order, followed by the repository's
+// ablation study.
+func ExperimentNames() []string {
+	return []string{"fig1", "table2", "fig3", "fig45", "fig6", "fig7", "fig8", "table3", "fig9", "ablation", "seeds", "manycore", "noise", "suite", "concurrent", "library"}
+}
+
+// Run executes an experiment by id and returns its formatted report.
+func Run(cfg Config, id string) (string, error) {
+	switch id {
+	case "fig1":
+		r, err := Fig1(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig1(r), nil
+	case "table2":
+		r, err := Table2(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatTable2(r), nil
+	case "fig3":
+		r, err := Fig3(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig3(r), nil
+	case "fig45":
+		r, err := Fig45(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig45(r), nil
+	case "fig6":
+		r, err := Fig6(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig6(r), nil
+	case "fig7":
+		r, err := Fig7(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig7(r), nil
+	case "fig8":
+		r, err := Fig8(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig8(r), nil
+	case "table3":
+		r, err := PerfEnergyGrid(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatTable3(r), nil
+	case "fig9":
+		r, err := PerfEnergyGrid(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig9(r), nil
+	case "ablation":
+		r, err := Ablation(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatAblation(r), nil
+	case "seeds":
+		r, err := SeedStudy(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatSeedStudy(r), nil
+	case "manycore":
+		r, err := Manycore(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatManycore(r), nil
+	case "noise":
+		r, err := NoiseStudy(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatNoiseStudy(r), nil
+	case "suite":
+		r, err := Suite(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatSuite(r), nil
+	case "concurrent":
+		r, err := Concurrent(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatConcurrent(r), nil
+	case "library":
+		r, err := LibraryStudy(cfg)
+		if err != nil {
+			return "", err
+		}
+		return FormatLibraryStudy(r), nil
+	default:
+		return "", fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, ExperimentNames())
+	}
+}
+
+// RunRows executes an experiment by id and returns its typed row data (for
+// machine-readable output); Table 3 and Fig. 9 share the PerfEnergyGrid rows.
+func RunRows(cfg Config, id string) (any, error) {
+	switch id {
+	case "fig1":
+		return Fig1(cfg)
+	case "table2":
+		return Table2(cfg)
+	case "fig3":
+		return Fig3(cfg)
+	case "fig45":
+		return Fig45(cfg)
+	case "fig6":
+		return Fig6(cfg)
+	case "fig7":
+		return Fig7(cfg)
+	case "fig8":
+		return Fig8(cfg)
+	case "table3", "fig9":
+		return PerfEnergyGrid(cfg)
+	case "ablation":
+		return Ablation(cfg)
+	case "seeds":
+		return SeedStudy(cfg)
+	case "manycore":
+		return Manycore(cfg)
+	case "noise":
+		return NoiseStudy(cfg)
+	case "suite":
+		return Suite(cfg)
+	case "concurrent":
+		return Concurrent(cfg)
+	case "library":
+		return LibraryStudy(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, ExperimentNames())
+	}
+}
+
+// tableWriter builds an aligned text table.
+func tableWriter(sb *strings.Builder) *tabwriter.Writer {
+	return tabwriter.NewWriter(sb, 0, 4, 2, ' ', 0)
+}

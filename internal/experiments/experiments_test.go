@@ -1,0 +1,456 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func quickCfg() Config {
+	return Config{Run: DefaultConfig().Run, Quick: true}
+}
+
+func TestNewPolicyKnownNames(t *testing.T) {
+	for _, name := range []string{
+		PolicyLinuxOndemand, PolicyLinuxPowersave, PolicyLinux24,
+		PolicyLinux34, PolicyGe, PolicyGeModified, PolicyProposed,
+	} {
+		p, err := NewPolicy(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if p.Name() != name && !strings.HasPrefix(p.Name(), "linux-") {
+			t.Errorf("%s resolved to %q", name, p.Name())
+		}
+	}
+	if _, err := NewPolicy("turbo"); err == nil {
+		t.Error("expected error for unknown policy")
+	}
+}
+
+func TestScenarioApps(t *testing.T) {
+	seq, err := scenarioApps("mpegdec-tachyon", workload.Set1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Name() != "mpeg_dec-tachyon" {
+		t.Errorf("sequence name = %q", seq.Name())
+	}
+	if _, err := scenarioApps("mpegdec-quake", workload.Set1); err == nil {
+		t.Error("expected error for unknown app in scenario")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run(quickCfg(), "fig99"); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestExperimentNamesResolve(t *testing.T) {
+	// Every listed experiment must be runnable (Quick mode keeps it fast).
+	// This is the repository's end-to-end smoke test.
+	cfg := quickCfg()
+	for _, id := range ExperimentNames() {
+		out, err := Run(cfg, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(out) == 0 {
+			t.Errorf("%s produced empty report", id)
+		}
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	cells, err := Table2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick mode: 3 apps x 1 set x 3 policies.
+	if len(cells) != 9 {
+		t.Fatalf("got %d cells, want 9", len(cells))
+	}
+	byKey := map[string]Table2Cell{}
+	for _, c := range cells {
+		byKey[c.App+"/"+c.Policy] = c
+	}
+	// Headline shape 1: the proposed controller runs cooler than Linux on
+	// every application.
+	for _, app := range table2Apps {
+		lin := byKey[app+"/"+PolicyLinuxOndemand]
+		pr := byKey[app+"/"+PolicyProposed]
+		if pr.AvgTempC >= lin.AvgTempC {
+			t.Errorf("%s: proposed avg %.1f >= linux %.1f", app, pr.AvgTempC, lin.AvgTempC)
+		}
+		if pr.AgingMTTF <= lin.AgingMTTF {
+			t.Errorf("%s: proposed aging MTTF %.2f <= linux %.2f", app, pr.AgingMTTF, lin.AgingMTTF)
+		}
+	}
+	// Headline shape 2: tachyon is the hottest application under Linux.
+	if byKey["tachyon/"+PolicyLinuxOndemand].AvgTempC <= byKey["mpeg_dec/"+PolicyLinuxOndemand].AvgTempC {
+		t.Error("tachyon should be hotter than mpeg_dec under Linux")
+	}
+	// Headline shape 3: on mpeg (cycling-dominated), the proposed approach
+	// beats both comparators on cycling MTTF.
+	for _, app := range []string{"mpeg_dec", "mpeg_enc"} {
+		pr := byKey[app+"/"+PolicyProposed].CyclingMTTF
+		lin := byKey[app+"/"+PolicyLinuxOndemand].CyclingMTTF
+		ge := byKey[app+"/"+PolicyGe].CyclingMTTF
+		if pr <= lin || pr <= ge {
+			t.Errorf("%s: proposed cycling MTTF %.1f should beat linux %.1f and ge %.1f", app, pr, lin, ge)
+		}
+	}
+	// Formatting round trip.
+	out := FormatTable2(cells)
+	if !strings.Contains(out, "tachyon") || !strings.Contains(out, "cycling MTTF") {
+		t.Error("FormatTable2 output incomplete")
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	rows, err := Fig3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 2 scenarios x 3 policies in quick mode
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	byKey := map[string]Fig3Row{}
+	for _, r := range rows {
+		byKey[r.Scenario+"/"+r.Policy] = r
+		if r.Policy == PolicyLinuxOndemand && math.Abs(r.Normalized-1) > 1e-9 {
+			t.Errorf("linux normalization broken: %g", r.Normalized)
+		}
+	}
+	// The proposed controller beats Linux on inter-application cycling in
+	// these scenarios.
+	for _, sc := range Fig3Scenarios()[:2] {
+		pr := byKey[sc+"/"+PolicyProposed]
+		if pr.Normalized <= 1 {
+			t.Errorf("%s: proposed normalized MTTF %.2f, want > 1", sc, pr.Normalized)
+		}
+	}
+	out := FormatFig3(rows)
+	if !strings.Contains(out, "normalized") {
+		t.Error("FormatFig3 output incomplete")
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	rows, err := Fig6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// Coarser sampling must over-estimate MTTF, reduce autocorrelation and
+	// reduce counter overhead.
+	if last.ComputedMTTF <= first.ComputedMTTF {
+		t.Errorf("coarse sampling should over-estimate MTTF: %.2f vs %.2f", last.ComputedMTTF, first.ComputedMTTF)
+	}
+	if last.Autocorrelation >= first.Autocorrelation {
+		t.Errorf("autocorrelation should fall: %.3f vs %.3f", last.Autocorrelation, first.Autocorrelation)
+	}
+	if last.CacheMisses >= first.CacheMisses {
+		t.Errorf("cache misses should fall: %d vs %d", last.CacheMisses, first.CacheMisses)
+	}
+	if last.PageFaults >= first.PageFaults {
+		t.Errorf("page faults should fall: %d vs %d", last.PageFaults, first.PageFaults)
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	rows, err := Fig7(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // 1 app x 3 epochs in quick mode
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	// Learning time grows monotonically with the decision epoch.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LearningTimeS <= rows[i-1].LearningTimeS {
+			t.Errorf("learning time should grow with epoch: %v", rows)
+		}
+	}
+	if rows[0].NormLearningTime != 1 {
+		t.Errorf("first epoch learning time should normalize to 1, got %g", rows[0].NormLearningTime)
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	rows, err := Fig8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2x2 sizes in quick mode
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	// Iterations for the largest table exceed the smallest.
+	var smallest, largest Fig8Row
+	smallArea, largeArea := math.MaxInt32, -1
+	for _, r := range rows {
+		area := r.States * r.Actions
+		if area < smallArea {
+			smallArea, smallest = area, r
+		}
+		if area > largeArea {
+			largeArea, largest = area, r
+		}
+	}
+	if largest.Iterations <= smallest.Iterations {
+		t.Errorf("larger table should need more iterations: %dx%d=%d vs %dx%d=%d",
+			largest.States, largest.Actions, largest.Iterations,
+			smallest.States, smallest.Actions, smallest.Iterations)
+	}
+}
+
+func TestPerfEnergyGridShapes(t *testing.T) {
+	cells, err := PerfEnergyGrid(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPol := map[string]PerfEnergyCell{}
+	for _, c := range cells {
+		byPol[c.Policy] = c
+	}
+	// 3.4 GHz is fastest; powersave slowest and lowest power.
+	if byPol[PolicyLinux34].ExecTimeS >= byPol[PolicyLinuxPowersave].ExecTimeS {
+		t.Error("3.4 GHz should beat powersave on time")
+	}
+	if byPol[PolicyLinuxPowersave].AvgDynPowerW >= byPol[PolicyLinux34].AvgDynPowerW {
+		t.Error("powersave should draw less power than 3.4 GHz")
+	}
+	// Proposed saves dynamic power vs plain ondemand.
+	if byPol[PolicyProposed].AvgDynPowerW >= byPol[PolicyLinuxOndemand].AvgDynPowerW {
+		t.Error("proposed should lower average dynamic power vs ondemand")
+	}
+	// Both formatters work off the same grid.
+	if out := FormatTable3(cells); !strings.Contains(out, "tachyon") {
+		t.Error("FormatTable3 incomplete")
+	}
+	if out := FormatFig9(cells); !strings.Contains(out, "dynamic energy") {
+		t.Error("FormatFig9 incomplete")
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	r, err := Fig1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(r.Rows))
+	}
+	byKey := map[string]Fig1Row{}
+	for _, row := range r.Rows {
+		byKey[row.App+"/"+row.Assignment] = row
+	}
+	// The paper's observation: the same fixed assignment helps mpeg
+	// (less cycling) but hurts face recognition (more cycling).
+	fr := byKey["face_rec/fixed-affinity"].CyclingMTTF / byKey["face_rec/linux-default"].CyclingMTTF
+	me := byKey["mpeg_enc/fixed-affinity"].CyclingMTTF / byKey["mpeg_enc/linux-default"].CyclingMTTF
+	if me <= fr {
+		t.Errorf("fixed affinity should help mpeg more than face_rec: mpeg ratio %.2f, face ratio %.2f", me, fr)
+	}
+	if r.DefaultSeq == nil || r.PinnedSeq == nil {
+		t.Error("missing back-to-back traces")
+	}
+}
+
+func TestRepeatsResolution(t *testing.T) {
+	if (Config{}).repeats() != 3 {
+		t.Error("default repeats should be 3")
+	}
+	if (Config{Quick: true}).repeats() != 1 {
+		t.Error("quick repeats should be 1")
+	}
+	if (Config{Repeats: 7}).repeats() != 7 {
+		t.Error("explicit repeats ignored")
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	rows, err := Ablation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // 1 scenario x 2 variants in quick mode
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	byVariant := map[string]AblationRow{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r
+	}
+	full, coupled := byVariant["full"], byVariant["coupled-sampling"]
+	// Removing the sampling/epoch separation (the paper's contribution 2)
+	// must hurt thermal-cycling control on tachyon.
+	if coupled.CyclingMTTF >= full.CyclingMTTF {
+		t.Errorf("coupled sampling cycling MTTF %.2f should be below full %.2f",
+			coupled.CyclingMTTF, full.CyclingMTTF)
+	}
+}
+
+func TestAblationUnknownVariant(t *testing.T) {
+	if _, err := ablationVariant("no-such-thing"); err == nil {
+		t.Error("expected error for unknown variant")
+	}
+}
+
+func TestSeedStudyShapes(t *testing.T) {
+	rows, err := SeedStudy(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1 in quick mode", len(rows))
+	}
+	r := rows[0]
+	if r.Seeds != 3 {
+		t.Errorf("Seeds = %d, want 3", r.Seeds)
+	}
+	if r.AgingMTTF.Min > r.AgingMTTF.Mean || r.AgingMTTF.Mean > r.AgingMTTF.Max {
+		t.Error("stat ordering broken")
+	}
+	// The aging improvement must be robust: even the worst seed beats Linux.
+	if r.AgingMTTF.Min <= r.LinuxAgingMTTF {
+		t.Errorf("worst-seed aging MTTF %.2f should beat linux %.2f", r.AgingMTTF.Min, r.LinuxAgingMTTF)
+	}
+	if out := FormatSeedStudy(rows); !strings.Contains(out, "tachyon") {
+		t.Error("FormatSeedStudy incomplete")
+	}
+}
+
+func TestManycoreShapes(t *testing.T) {
+	rows, err := Manycore(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 grids x 2 policies in quick mode
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		lin, pr := rows[i], rows[i+1]
+		if lin.Cores != pr.Cores {
+			t.Fatal("row pairing broken")
+		}
+		if pr.AvgTempC >= lin.AvgTempC {
+			t.Errorf("%d cores: proposed avg %.1f >= linux %.1f", pr.Cores, pr.AvgTempC, lin.AvgTempC)
+		}
+		if pr.AgingMTTF <= lin.AgingMTTF {
+			t.Errorf("%d cores: proposed aging %.2f <= linux %.2f", pr.Cores, pr.AgingMTTF, lin.AgingMTTF)
+		}
+	}
+	if out := FormatManycore(rows); !strings.Contains(out, "cores") {
+		t.Error("FormatManycore incomplete")
+	}
+}
+
+func TestRunRowsMatchesNames(t *testing.T) {
+	cfg := quickCfg()
+	for _, id := range ExperimentNames() {
+		rows, err := RunRows(cfg, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rows == nil {
+			t.Errorf("%s returned nil rows", id)
+		}
+	}
+	if _, err := RunRows(cfg, "nope"); err == nil {
+		t.Error("expected error for unknown id")
+	}
+}
+
+func TestConcurrentShapes(t *testing.T) {
+	rows, err := Concurrent(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // 1 mix x 3 policies in quick mode
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byPol := map[string]ConcurrentRow{}
+	for _, r := range rows {
+		if !strings.Contains(r.Mix, "+") {
+			t.Errorf("mix name %q should join apps with +", r.Mix)
+		}
+		byPol[r.Policy] = r
+	}
+	if byPol[PolicyProposed].AvgTempC >= byPol[PolicyLinuxOndemand].AvgTempC {
+		t.Error("proposed should run the concurrent mix cooler than Linux")
+	}
+	if byPol[PolicyProposed].AgingMTTF <= byPol[PolicyLinuxOndemand].AgingMTTF {
+		t.Error("proposed should improve aging MTTF on the concurrent mix")
+	}
+	if out := FormatConcurrent(rows); !strings.Contains(out, "mix") {
+		t.Error("FormatConcurrent incomplete")
+	}
+}
+
+func TestSuiteShapes(t *testing.T) {
+	rows, err := Suite(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 apps x 4 policies in quick mode
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.CombinedMTTF > r.CyclingMTTF || r.CombinedMTTF > r.AgingMTTF {
+			t.Errorf("%s/%s: SOFR MTTF %.2f exceeds a component", r.App, r.Policy, r.CombinedMTTF)
+		}
+	}
+}
+
+func TestNoiseStudyShapes(t *testing.T) {
+	rows, err := NoiseStudy(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	// Linux never reads the sensors: identical across noise levels.
+	if rows[0].LinuxAgingMTTF != rows[1].LinuxAgingMTTF {
+		t.Error("Linux results should be noise-independent")
+	}
+	if out := FormatNoiseStudy(rows); !strings.Contains(out, "noise") {
+		t.Error("FormatNoiseStudy incomplete")
+	}
+}
+
+func TestLibraryStudyShapes(t *testing.T) {
+	rows, err := LibraryStudy(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // 1 scenario x 2 variants in quick mode
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	byVariant := map[string]LibraryRow{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r
+	}
+	if byVariant["relearn"].Adoptions != 0 {
+		t.Error("the paper's controller must never adopt")
+	}
+	lib := byVariant["library"]
+	if lib.Adoptions == 0 {
+		t.Error("the library variant should adopt at least once on A-B-A")
+	}
+	// The returning application benefits: cycling MTTF improves.
+	if lib.CyclingMTTF <= byVariant["relearn"].CyclingMTTF {
+		t.Errorf("library cycling MTTF %.2f should beat relearn %.2f",
+			lib.CyclingMTTF, byVariant["relearn"].CyclingMTTF)
+	}
+	if out := FormatLibraryStudy(rows); !strings.Contains(out, "adoptions") {
+		t.Error("FormatLibraryStudy incomplete")
+	}
+}

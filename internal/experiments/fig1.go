@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/governor"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig1Row reports the thermal character of one application under one thread
+// assignment policy — the quantities the paper's motivational figure
+// annotates (average temperature and thermal cycling).
+type Fig1Row struct {
+	App        string
+	Assignment string // "linux-default" or "fixed-affinity"
+	AvgTempC   float64
+	PeakTempC  float64
+	// CyclingMTTF summarizes thermal cycling (lower MTTF = more cycling).
+	CyclingMTTF float64
+	AgingMTTF   float64
+}
+
+// Fig1Result bundles the motivational experiment: face recognition and mpeg
+// encoding executed under Linux's default allocation vs a fixed arbitrary
+// thread-to-core assignment (two cores with two threads, two with one).
+type Fig1Result struct {
+	Rows []Fig1Row
+	// DefaultSeq and PinnedSeq are the back-to-back scenario results (for
+	// plotting the Fig. 1 style profile).
+	DefaultSeq, PinnedSeq *sim.Result
+}
+
+// fig1Slots is the paper's arbitrary fixed assignment: cores 0 and 1 run two
+// threads each, cores 2 and 3 run one each.
+var fig1Slots = []int{0, 1, 2, 3, 0, 1}
+
+// Fig1 reproduces the motivational example of Section 3.
+func Fig1(cfg Config) (*Fig1Result, error) {
+	res := &Fig1Result{}
+	for _, appName := range []string{"face_rec", "mpeg_enc"} {
+		for _, assignment := range []string{"linux-default", "fixed-affinity"} {
+			app, err := workload.ByName(appName, workload.Set1)
+			if err != nil {
+				return nil, err
+			}
+			var pol sim.Policy
+			if assignment == "linux-default" {
+				pol = sim.LinuxPolicy{Kind: governor.Ondemand}
+			} else {
+				pol = &sim.FixedAffinityPolicy{Slots: fig1Slots, Kind: governor.Ondemand}
+			}
+			r, err := sim.Run(cfg.Run, app, pol)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig1Row{
+				App:         appName,
+				Assignment:  assignment,
+				AvgTempC:    r.AvgTempC,
+				PeakTempC:   r.PeakTempC,
+				CyclingMTTF: r.CyclingMTTF,
+				AgingMTTF:   r.AgingMTTF,
+			})
+		}
+	}
+	// Back-to-back profile for plotting.
+	seq, err := scenarioApps("face_rec-mpeg_enc", workload.Set1)
+	if err != nil {
+		return nil, err
+	}
+	res.DefaultSeq, err = sim.Run(cfg.Run, seq, sim.LinuxPolicy{Kind: governor.Ondemand})
+	if err != nil {
+		return nil, err
+	}
+	seq, err = scenarioApps("face_rec-mpeg_enc", workload.Set1)
+	if err != nil {
+		return nil, err
+	}
+	res.PinnedSeq, err = sim.Run(cfg.Run, seq, &sim.FixedAffinityPolicy{Slots: fig1Slots, Kind: governor.Ondemand})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// FormatFig1 renders the motivational comparison.
+func FormatFig1(r *Fig1Result) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 1 — thread-to-core affinity influences thermal profile\n")
+	sb.WriteString("(face recognition and mpeg encoding, Linux default vs fixed assignment)\n\n")
+	w := tableWriter(&sb)
+	fmt.Fprintln(w, "app\tassignment\tavg T (C)\tpeak T (C)\tcycling MTTF (y)\taging MTTF (y)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%.2f\t%.2f\n",
+			row.App, row.Assignment, row.AvgTempC, row.PeakTempC, row.CyclingMTTF, row.AgingMTTF)
+	}
+	w.Flush()
+	fmt.Fprintf(&sb, "\nback-to-back profile (face_rec-mpeg_enc): default %0.fs, pinned %0.fs\n",
+		r.DefaultSeq.ExecTimeS, r.PinnedSeq.ExecTimeS)
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Fig6Row is one sampling-interval point of the design-parameter sweep.
+type Fig6Row struct {
+	// SamplingIntervalS is the temperature sampling interval.
+	SamplingIntervalS float64
+	// ComputedMTTF is the thermal-cycling MTTF (years) as computed *from
+	// the samples at this interval* — coarser sampling aliases cycles away
+	// and over-estimates MTTF, the effect the paper highlights.
+	ComputedMTTF float64
+	// Autocorrelation is the lag-1 autocorrelation of the sampled
+	// temperature (high at fine intervals).
+	Autocorrelation float64
+	// CacheMisses and PageFaults are the monitoring-overhead counters.
+	CacheMisses, PageFaults int64
+}
+
+// Fig6 sweeps the temperature sampling interval from 1 to 10 seconds on the
+// tachyon application under the proposed controller. The measurement-quality
+// quantities (computed MTTF and autocorrelation) are derived by re-sampling
+// one reference run's oracle trace at each interval — isolating the
+// estimation bias of the interval itself — while the monitoring-overhead
+// counters come from an actual controller run at that interval.
+func Fig6(cfg Config) ([]Fig6Row, error) {
+	intervals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if cfg.Quick {
+		intervals = []float64{1, 3, 10}
+	}
+	// Reference run for the measurement-bias quantities.
+	refApp, err := workload.ByName("tachyon", workload.Set1)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := sim.Run(cfg.Run, refApp, &sim.ProposedPolicy{})
+	if err != nil {
+		return nil, fmt.Errorf("fig6 reference run: %w", err)
+	}
+	var rows []Fig6Row
+	for _, interval := range intervals {
+		app, err := workload.ByName("tachyon", workload.Set1)
+		if err != nil {
+			return nil, err
+		}
+		ctl := core.DefaultConfig()
+		ctl.SamplingIntervalS = interval
+		// Keep the decision epoch near 30 s regardless of the interval.
+		ctl.EpochSamples = int(math.Max(2, math.Round(30/interval)))
+		pol := &sim.ProposedPolicy{Config: &ctl}
+		r, err := sim.Run(cfg.Run, app, pol)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 interval %.0fs: %w", interval, err)
+		}
+		// Re-sample the reference trace at the sensor interval: this is
+		// what a controller sampling at this rate would measure.
+		k := int(math.Round(interval / ref.Trace.IntervalS))
+		if k < 1 {
+			k = 1
+		}
+		worst := math.Inf(1)
+		var ac float64
+		for i, s := range ref.Trace.Cores {
+			sampled := trace.Resample(s.Values, k)
+			mttf := cfg.Run.Cycling.CyclingMTTFFromSeries(sampled, interval)
+			if mttf < worst {
+				worst = mttf
+			}
+			if i == 0 {
+				ac = trace.Autocorrelation(sampled, 1)
+			}
+		}
+		rows = append(rows, Fig6Row{
+			SamplingIntervalS: interval,
+			ComputedMTTF:      worst,
+			Autocorrelation:   ac,
+			CacheMisses:       r.CacheMisses,
+			PageFaults:        r.PageFaults,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFig6 renders the sweep.
+func FormatFig6(rows []Fig6Row) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 6 — impact of the temperature sampling interval (tachyon, proposed)\n\n")
+	w := tableWriter(&sb)
+	fmt.Fprintln(w, "interval (s)\tcomputed MTTF (y)\tautocorrelation\tcache misses\tpage faults")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.0f\t%.2f\t%.3f\t%d\t%d\n",
+			r.SamplingIntervalS, r.ComputedMTTF, r.Autocorrelation, r.CacheMisses, r.PageFaults)
+	}
+	w.Flush()
+	sb.WriteString("\nCoarser sampling over-estimates MTTF (cycles aliased away) and lowers monitoring overhead;\nautocorrelation falls as samples decorrelate. The paper selects 3 s as the trade-off.\n")
+	return sb.String()
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig7Row is one (application, decision epoch) point of the epoch sweep.
+type Fig7Row struct {
+	App string
+	// EpochS is the decision epoch in seconds.
+	EpochS float64
+	// NormExecTime is execution time normalized to Linux ondemand on the
+	// same application (Fig. 7a).
+	NormExecTime float64
+	// NormEnergy is dynamic energy normalized to Linux ondemand (Fig. 7b).
+	NormEnergy float64
+	// LearningTimeS is the wall time until the controller's visited-pair
+	// convergence criterion fired; NormLearningTime normalizes it to the
+	// smallest epoch in the sweep (Fig. 7c).
+	LearningTimeS    float64
+	NormLearningTime float64
+}
+
+// Fig7 sweeps the decision epoch for tachyon, mpeg_dec and mpeg_enc,
+// reporting execution-time overhead, energy overhead and learning time.
+func Fig7(cfg Config) ([]Fig7Row, error) {
+	epochs := []float64{6, 15, 30, 45, 60, 80}
+	apps := []string{"tachyon", "mpeg_dec", "mpeg_enc"}
+	if cfg.Quick {
+		epochs = []float64{6, 30, 80}
+		apps = apps[:1]
+	}
+	var rows []Fig7Row
+	for _, appName := range apps {
+		// Linux baseline for normalization.
+		lin, err := runApp(cfg, appName, workload.Set1, PolicyLinuxOndemand)
+		if err != nil {
+			return nil, err
+		}
+		var baseLearn float64
+		for i, epoch := range epochs {
+			var execSum, energySum, learnSum float64
+			reps := cfg.repeats()
+			var epochS float64
+			for rep := 0; rep < reps; rep++ {
+				app, err := workload.ByName(appName, workload.Set1)
+				if err != nil {
+					return nil, err
+				}
+				ctl := core.DefaultConfig()
+				ctl.EpochSamples = int(math.Max(2, math.Round(epoch/ctl.SamplingIntervalS)))
+				ctl.Agent.Seed += int64(1000 * rep)
+				pol := &sim.ProposedPolicy{Config: &ctl}
+				r, err := sim.Run(cfg.Run, app, pol)
+				if err != nil {
+					return nil, fmt.Errorf("fig7 %s epoch %.0fs: %w", appName, epoch, err)
+				}
+				epochS = ctl.SamplingIntervalS * float64(ctl.EpochSamples)
+				// Training time = epochs for the learning-rate schedule to
+				// reach exploitation, times the epoch length (the paper:
+				// "training time is a function of decision epoch and number
+				// of iterations").
+				learnEpochs := ctl.Agent.EpochsToConverge()
+				execSum += r.ExecTimeS
+				energySum += r.DynamicEnergyJ
+				learnSum += float64(learnEpochs) * epochS
+			}
+			learn := learnSum / float64(reps)
+			if i == 0 {
+				baseLearn = learn
+			}
+			norm := 0.0
+			if baseLearn > 0 {
+				norm = learn / baseLearn
+			}
+			rows = append(rows, Fig7Row{
+				App:              appName,
+				EpochS:           epochS,
+				NormExecTime:     execSum / float64(reps) / lin.ExecTimeS,
+				NormEnergy:       energySum / float64(reps) / lin.DynamicEnergyJ,
+				LearningTimeS:    learn,
+				NormLearningTime: norm,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig7 renders the epoch sweep.
+func FormatFig7(rows []Fig7Row) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 7 — effect of the decision epoch (normalized to Linux ondemand / smallest epoch)\n\n")
+	w := tableWriter(&sb)
+	fmt.Fprintln(w, "app\tepoch (s)\tnorm exec time\tnorm energy\tlearning time (s)\tnorm learning time")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.0f\t%.3f\t%.3f\t%.0f\t%.2f\n",
+			r.App, r.EpochS, r.NormExecTime, r.NormEnergy, r.LearningTimeS, r.NormLearningTime)
+	}
+	w.Flush()
+	sb.WriteString("\nSmall epochs pay adaptation overhead (time and energy); learning time grows with the epoch.\n")
+	return sb.String()
+}

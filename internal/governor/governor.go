@@ -1,0 +1,168 @@
+// Package governor implements the five Linux cpufreq governors the paper's
+// action space draws from (Section 5.1): ondemand, conservative,
+// performance, powersave and userspace. Each governor maps a recent
+// utilization estimate to a DVFS level index for one core.
+package governor
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+)
+
+// Kind enumerates the governor types.
+type Kind int
+
+// The five cpufreq governors.
+const (
+	Ondemand Kind = iota
+	Conservative
+	Performance
+	Powersave
+	Userspace
+)
+
+// String returns the cpufreq name of the governor kind.
+func (k Kind) String() string {
+	switch k {
+	case Ondemand:
+		return "ondemand"
+	case Conservative:
+		return "conservative"
+	case Performance:
+		return "performance"
+	case Powersave:
+		return "powersave"
+	case Userspace:
+		return "userspace"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves a governor name.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "ondemand":
+		return Ondemand, nil
+	case "conservative":
+		return Conservative, nil
+	case "performance":
+		return Performance, nil
+	case "powersave":
+		return Powersave, nil
+	case "userspace":
+		return Userspace, nil
+	default:
+		return 0, fmt.Errorf("governor: unknown governor %q", name)
+	}
+}
+
+// Governor decides the DVFS level of one core from its recent utilization.
+// Implementations are stateless except for the current level passed in, so a
+// single instance may serve several cores.
+type Governor interface {
+	// Name returns the cpufreq-style governor name.
+	Name() string
+	// Decide returns the next DVFS level index given the utilization in
+	// [0,1] observed since the last decision and the current level index.
+	Decide(util float64, cur int) int
+}
+
+// New constructs a governor of the given kind over the supplied DVFS levels.
+// fixedLevel is only used by the userspace governor and is clamped to the
+// valid range.
+func New(kind Kind, levels []power.Level, fixedLevel int) Governor {
+	if len(levels) == 0 {
+		panic("governor: need at least one DVFS level")
+	}
+	switch kind {
+	case Performance:
+		return performance{max: len(levels) - 1}
+	case Powersave:
+		return powersave{}
+	case Userspace:
+		if fixedLevel < 0 {
+			fixedLevel = 0
+		}
+		if fixedLevel >= len(levels) {
+			fixedLevel = len(levels) - 1
+		}
+		return userspace{level: fixedLevel, freq: levels[fixedLevel].FrequencyGHz}
+	case Conservative:
+		return &conservative{max: len(levels) - 1}
+	default:
+		return &ondemand{levels: levels}
+	}
+}
+
+type performance struct{ max int }
+
+func (performance) Name() string              { return "performance" }
+func (g performance) Decide(float64, int) int { return g.max }
+
+type powersave struct{}
+
+func (powersave) Name() string            { return "powersave" }
+func (powersave) Decide(float64, int) int { return 0 }
+
+type userspace struct {
+	level int
+	freq  float64
+}
+
+func (g userspace) Name() string { return fmt.Sprintf("userspace-%.1fGHz", g.freq) }
+
+func (g userspace) Decide(float64, int) int { return g.level }
+
+// ondemand mirrors the kernel governor of Pallipadi & Starikovskiy: if
+// utilization exceeds the up-threshold, jump straight to the highest
+// frequency; otherwise pick the lowest frequency that can serve the load
+// with headroom (proportional scaling).
+type ondemand struct {
+	levels []power.Level
+}
+
+// upThreshold matches the kernel default of 80%.
+const upThreshold = 0.80
+
+func (*ondemand) Name() string { return "ondemand" }
+
+func (g *ondemand) Decide(util float64, cur int) int {
+	n := len(g.levels)
+	if util > upThreshold {
+		return n - 1
+	}
+	// Required frequency with the same 80% headroom rule.
+	need := util / upThreshold * g.levels[n-1].FrequencyGHz
+	for i := 0; i < n; i++ {
+		if g.levels[i].FrequencyGHz >= need {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// conservative steps one level at a time, like the kernel's battery-friendly
+// variant of ondemand.
+type conservative struct {
+	max int
+}
+
+const (
+	consUpThreshold   = 0.80
+	consDownThreshold = 0.30
+)
+
+func (*conservative) Name() string { return "conservative" }
+
+func (g *conservative) Decide(util float64, cur int) int {
+	switch {
+	case util > consUpThreshold && cur < g.max:
+		return cur + 1
+	case util < consDownThreshold && cur > 0:
+		return cur - 1
+	default:
+		return cur
+	}
+}

@@ -1,0 +1,190 @@
+package governor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/power"
+)
+
+var levels = power.DefaultLevels()
+
+func TestKindStringAndParse(t *testing.T) {
+	kinds := []Kind{Ondemand, Conservative, Performance, Powersave, Userspace}
+	for _, k := range kinds {
+		parsed, err := ParseKind(k.String())
+		if err != nil {
+			t.Errorf("ParseKind(%s): %v", k, err)
+		}
+		if parsed != k {
+			t.Errorf("round trip %v -> %v", k, parsed)
+		}
+	}
+	if _, err := ParseKind("turbo"); err == nil {
+		t.Error("expected error for unknown governor name")
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Error("unknown Kind string wrong")
+	}
+}
+
+func TestPerformanceGovernor(t *testing.T) {
+	g := New(Performance, levels, 0)
+	if g.Name() != "performance" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	for _, u := range []float64{0, 0.5, 1} {
+		if got := g.Decide(u, 0); got != len(levels)-1 {
+			t.Errorf("Decide(%g) = %d, want max", u, got)
+		}
+	}
+}
+
+func TestPowersaveGovernor(t *testing.T) {
+	g := New(Powersave, levels, 0)
+	if g.Name() != "powersave" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	for _, u := range []float64{0, 0.5, 1} {
+		if got := g.Decide(u, 3); got != 0 {
+			t.Errorf("Decide(%g) = %d, want 0", u, got)
+		}
+	}
+}
+
+func TestUserspaceGovernor(t *testing.T) {
+	g := New(Userspace, levels, 2)
+	if got := g.Decide(1.0, 0); got != 2 {
+		t.Errorf("Decide = %d, want 2", got)
+	}
+	if g.Name() != "userspace-2.4GHz" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	// Clamping.
+	if got := New(Userspace, levels, 99).Decide(0, 0); got != len(levels)-1 {
+		t.Errorf("over-range fixed level = %d, want max", got)
+	}
+	if got := New(Userspace, levels, -1).Decide(0, 0); got != 0 {
+		t.Errorf("under-range fixed level = %d, want 0", got)
+	}
+}
+
+func TestOndemandJumpsToMax(t *testing.T) {
+	g := New(Ondemand, levels, 0)
+	if g.Name() != "ondemand" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if got := g.Decide(0.95, 0); got != len(levels)-1 {
+		t.Errorf("Decide(0.95) = %d, want max (jump rule)", got)
+	}
+	if got := g.Decide(0.81, 0); got != len(levels)-1 {
+		t.Errorf("Decide(0.81) = %d, want max", got)
+	}
+}
+
+func TestOndemandProportional(t *testing.T) {
+	g := New(Ondemand, levels, 0)
+	// Zero load: lowest level.
+	if got := g.Decide(0, 4); got != 0 {
+		t.Errorf("Decide(0) = %d, want 0", got)
+	}
+	// Mid load: an intermediate level that covers need = util/0.8 * 3.4.
+	got := g.Decide(0.5, 0)
+	need := 0.5 / 0.8 * 3.4
+	if levels[got].FrequencyGHz < need {
+		t.Errorf("chosen level %v cannot serve need %.2f GHz", levels[got], need)
+	}
+	if got > 0 && levels[got-1].FrequencyGHz >= need {
+		t.Errorf("a lower level would have sufficed: chose %d", got)
+	}
+}
+
+// Property: ondemand decisions are monotone in utilization.
+func TestOndemandMonotone(t *testing.T) {
+	g := New(Ondemand, levels, 0)
+	f := func(a, b uint8) bool {
+		x, y := float64(a)/255, float64(b)/255
+		if x > y {
+			x, y = y, x
+		}
+		return g.Decide(x, 0) <= g.Decide(y, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConservativeStepping(t *testing.T) {
+	g := New(Conservative, levels, 0)
+	if g.Name() != "conservative" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if got := g.Decide(0.9, 2); got != 3 {
+		t.Errorf("high util should step up: got %d", got)
+	}
+	if got := g.Decide(0.9, len(levels)-1); got != len(levels)-1 {
+		t.Errorf("cannot step above max: got %d", got)
+	}
+	if got := g.Decide(0.1, 2); got != 1 {
+		t.Errorf("low util should step down: got %d", got)
+	}
+	if got := g.Decide(0.1, 0); got != 0 {
+		t.Errorf("cannot step below min: got %d", got)
+	}
+	if got := g.Decide(0.5, 2); got != 2 {
+		t.Errorf("mid util should hold: got %d", got)
+	}
+}
+
+func TestConservativeReachesMaxEventually(t *testing.T) {
+	g := New(Conservative, levels, 0)
+	cur := 0
+	for i := 0; i < 10; i++ {
+		cur = g.Decide(1.0, cur)
+	}
+	if cur != len(levels)-1 {
+		t.Errorf("sustained full load should reach max, got %d", cur)
+	}
+}
+
+func TestNewPanicsWithoutLevels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty level list")
+		}
+	}()
+	New(Ondemand, nil, 0)
+}
+
+// Property: every governor always returns a valid level index.
+func TestDecisionsInRange(t *testing.T) {
+	govs := []Governor{
+		New(Ondemand, levels, 0),
+		New(Conservative, levels, 0),
+		New(Performance, levels, 0),
+		New(Powersave, levels, 0),
+		New(Userspace, levels, 2),
+	}
+	f := func(u uint8, cur uint8) bool {
+		util := float64(u) / 255
+		c := int(cur) % len(levels)
+		for _, g := range govs {
+			got := g.Decide(util, c)
+			if got < 0 || got >= len(levels) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOndemandDecide(b *testing.B) {
+	g := New(Ondemand, levels, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Decide(float64(i%100)/100, i%len(levels))
+	}
+}

@@ -1,0 +1,386 @@
+// Package platform simulates the paper's experimental platform: an Intel
+// quad-core running Linux, with per-core DVFS driven by cpufreq governors,
+// on-board thermal sensors, performance counters and an energy meter.
+//
+// Each simulation tick couples four substrates:
+//
+//	scheduler -> per-core activity -> power model -> thermal RC network
+//
+// and exposes to controllers exactly the interfaces the paper's run-time
+// system uses: quantized thermal sensor reads, affinity masks, governor
+// selection, and perf-style counters.
+package platform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/governor"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Counters model perf-style event counts (Fig. 6 plots cache misses and page
+// faults against the temperature sampling interval).
+type Counters struct {
+	CacheMisses int64
+	PageFaults  int64
+}
+
+// Config parameterizes the simulated platform.
+type Config struct {
+	// TickS is the simulation time step in seconds.
+	TickS float64
+	// Floorplan configures the thermal network.
+	Floorplan thermal.FloorplanConfig
+	// GridRows and GridCols select the core-grid dimensions; zero means
+	// the paper's 2x2 quad-core. Sched.NumCores must equal their product.
+	GridRows, GridCols int
+	// Power is the per-core power model.
+	Power power.Model
+	// Levels is the DVFS operating-point table.
+	Levels []power.Level
+	// Sched configures the thread scheduler.
+	Sched sched.Config
+	// GovernorIntervalS is how often governors re-decide frequencies.
+	GovernorIntervalS float64
+	// SensorQuantC is the thermal sensor quantization step in degrees
+	// Celsius (coretemp-style sensors report whole degrees).
+	SensorQuantC float64
+	// SensorNoiseC is the standard deviation of sensor read noise.
+	SensorNoiseC float64
+	// SampleCacheMisses / SamplePageFaults are the counter costs charged
+	// per sensor read: the monitoring daemon pollutes caches and touches
+	// pages every time it wakes (this produces the Fig. 6 counter trends).
+	SampleCacheMisses int64
+	SamplePageFaults  int64
+	// MigrationCacheMisses / MigrationPageFaults are charged per thread
+	// migration.
+	MigrationCacheMisses int64
+	MigrationPageFaults  int64
+	// DVFSTransitionS is the execution stall charged to every thread on a
+	// core whose DVFS level changes (PLL relock / voltage ramp latency).
+	// Zero (the default) disables the cost.
+	DVFSTransitionS float64
+	// CorePowerScale optionally scales each core's dynamic power,
+	// modeling heterogeneous (big.LITTLE-style) cores together with
+	// Sched.CoreSpeed. nil or an entry of 0 means 1.0.
+	CorePowerScale []float64
+	// Seed drives sensor noise.
+	Seed int64
+}
+
+// DefaultConfig returns the calibrated quad-core platform configuration.
+func DefaultConfig() Config {
+	return Config{
+		TickS:                0.01,
+		Floorplan:            thermal.DefaultFloorplanConfig(),
+		Power:                power.DefaultModel(),
+		Levels:               power.DefaultLevels(),
+		Sched:                sched.DefaultConfig(),
+		GovernorIntervalS:    0.1,
+		SensorQuantC:         1.0,
+		SensorNoiseC:         0.0,
+		SampleCacheMisses:    60000,
+		SamplePageFaults:     1200,
+		MigrationCacheMisses: 40000,
+		MigrationPageFaults:  60,
+		Seed:                 7,
+	}
+}
+
+// Platform is the simulated machine. It is not safe for concurrent use.
+type Platform struct {
+	cfg    Config
+	fp     *thermal.Floorplan
+	solver *thermal.Solver
+	sch    *sched.Scheduler
+	work   workload.Workload
+	rng    *rand.Rand
+
+	// DVFS state.
+	coreLevel []int
+	govs      []governor.Governor
+
+	// Governor utilization accounting.
+	busyAccum []float64
+	govClock  float64
+
+	meter    power.Meter
+	counters Counters
+	now      float64
+
+	lastMigrations  int64
+	lastThreads     []*workload.Thread
+	appSwitches     int
+	dvfsTransitions int64
+
+	// powerScale is the resolved per-core dynamic-power multiplier.
+	powerScale []float64
+
+	// scratch buffers
+	powerVec  []float64
+	coreTemps []float64
+	dynPow    []float64
+	freqs     []float64
+}
+
+// New builds a platform executing the given workload. The workload's current
+// threads are installed into the scheduler; governors default to ondemand.
+func New(cfg Config, work workload.Workload) *Platform {
+	if cfg.TickS <= 0 {
+		panic(fmt.Sprintf("platform: TickS must be positive, got %g", cfg.TickS))
+	}
+	if len(cfg.Levels) == 0 {
+		panic("platform: need at least one DVFS level")
+	}
+	rows, cols := cfg.GridRows, cfg.GridCols
+	if rows == 0 && cols == 0 {
+		rows, cols = 2, 2
+	}
+	fp := thermal.GridFloorplan(rows, cols, cfg.Floorplan)
+	n := fp.NumCores()
+	if cfg.Sched.NumCores != n {
+		panic(fmt.Sprintf("platform: scheduler cores %d != floorplan cores %d", cfg.Sched.NumCores, n))
+	}
+	p := &Platform{
+		cfg:       cfg,
+		fp:        fp,
+		solver:    thermal.NewSolver(fp.Net, thermal.Euler),
+		sch:       sched.New(cfg.Sched),
+		work:      work,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		coreLevel: make([]int, n),
+		govs:      make([]governor.Governor, n),
+		busyAccum: make([]float64, n),
+		powerVec:  make([]float64, fp.Net.NumNodes()),
+		coreTemps: make([]float64, n),
+		dynPow:    make([]float64, n),
+		freqs:     make([]float64, n),
+		// The initial thread installation is not an application switch.
+		appSwitches: -1,
+	}
+	if cfg.CorePowerScale != nil && len(cfg.CorePowerScale) != n {
+		panic(fmt.Sprintf("platform: CorePowerScale has %d entries for %d cores", len(cfg.CorePowerScale), n))
+	}
+	p.powerScale = make([]float64, n)
+	for c := range p.powerScale {
+		p.powerScale[c] = 1
+		if cfg.CorePowerScale != nil && cfg.CorePowerScale[c] > 0 {
+			p.powerScale[c] = cfg.CorePowerScale[c]
+		}
+	}
+	p.SetGovernorAll(governor.Ondemand, 0)
+	p.installThreads()
+	return p
+}
+
+// NumCores returns the core count.
+func (p *Platform) NumCores() int { return p.fp.NumCores() }
+
+// Levels returns the DVFS level table.
+func (p *Platform) Levels() []power.Level { return p.cfg.Levels }
+
+// Now returns the simulated time in seconds.
+func (p *Platform) Now() float64 { return p.now }
+
+// Workload returns the executing workload.
+func (p *Platform) Workload() workload.Workload { return p.work }
+
+// Scheduler exposes the underlying scheduler (for affinity control).
+func (p *Platform) Scheduler() *sched.Scheduler { return p.sch }
+
+// Meter returns the accumulated energy meter.
+func (p *Platform) Meter() *power.Meter { return &p.meter }
+
+// PerfCounters returns the accumulated perf counters.
+func (p *Platform) PerfCounters() Counters { return p.counters }
+
+// AppSwitches returns how many times the running thread set was replaced
+// (application switches in a Sequence workload).
+func (p *Platform) AppSwitches() int { return p.appSwitches }
+
+// CoreLevels returns the current per-core DVFS level indices. The returned
+// slice aliases internal state; callers must not modify it.
+func (p *Platform) CoreLevels() []int { return p.coreLevel }
+
+// SetGovernorAll installs the same governor kind on every core (how the
+// paper's actions select cpufreq governors). fixedLevel is used only by the
+// userspace governor.
+func (p *Platform) SetGovernorAll(kind governor.Kind, fixedLevel int) {
+	g := governor.New(kind, p.cfg.Levels, fixedLevel)
+	for c := range p.govs {
+		p.govs[c] = g
+	}
+}
+
+// SetCoreGovernor installs a governor on a single core.
+func (p *Platform) SetCoreGovernor(core int, kind governor.Kind, fixedLevel int) error {
+	if core < 0 || core >= len(p.govs) {
+		return fmt.Errorf("platform: core %d out of range", core)
+	}
+	p.govs[core] = governor.New(kind, p.cfg.Levels, fixedLevel)
+	return nil
+}
+
+// SetCoreLevel forces a core's DVFS level immediately and pins it with a
+// userspace governor, the interface the Ge & Qiu baseline controller uses.
+func (p *Platform) SetCoreLevel(core, level int) error {
+	if core < 0 || core >= len(p.coreLevel) {
+		return fmt.Errorf("platform: core %d out of range", core)
+	}
+	if level < 0 || level >= len(p.cfg.Levels) {
+		return fmt.Errorf("platform: level %d out of range (%d levels)", level, len(p.cfg.Levels))
+	}
+	if level != p.coreLevel[core] {
+		p.chargeDVFSTransition(core)
+	}
+	p.coreLevel[core] = level
+	p.govs[core] = governor.New(governor.Userspace, p.cfg.Levels, level)
+	return nil
+}
+
+// DVFSTransitions returns the cumulative count of per-core frequency-level
+// changes.
+func (p *Platform) DVFSTransitions() int64 { return p.dvfsTransitions }
+
+// chargeDVFSTransition counts a level change and, if configured, stalls the
+// threads currently placed on the core for the transition latency.
+func (p *Platform) chargeDVFSTransition(core int) {
+	p.dvfsTransitions++
+	if p.cfg.DVFSTransitionS <= 0 {
+		return
+	}
+	for i := range p.sch.Threads() {
+		if p.sch.Placement(i) == core {
+			p.sch.AddStall(i, p.cfg.DVFSTransitionS)
+		}
+	}
+}
+
+// SetAffinity sets the affinity mask of thread i of the current thread set.
+func (p *Platform) SetAffinity(i int, mask sched.AffinityMask) error {
+	return p.sch.SetAffinity(i, mask)
+}
+
+// CorePower returns the most recent per-core total power draw (dynamic +
+// leakage, watts). The returned slice aliases internal state; callers must
+// not modify it.
+func (p *Platform) CorePower() []float64 { return p.dynPow }
+
+// Temperatures returns the exact current core temperatures (degrees
+// Celsius). This is oracle access for tracing and ground-truth metrics; it
+// charges no overhead. The returned slice is reused between calls.
+func (p *Platform) Temperatures() []float64 {
+	p.fp.CoreTemperatures(p.coreTemps, p.solver.Temperatures())
+	return p.coreTemps
+}
+
+// ReadSensors models a controller sampling the on-board thermal sensors:
+// quantized (and optionally noisy) temperatures, with the monitoring
+// overhead charged to the perf counters. dst must hold NumCores entries;
+// it is filled and returned.
+func (p *Platform) ReadSensors(dst []float64) []float64 {
+	exact := p.Temperatures()
+	for i := range dst {
+		v := exact[i]
+		if p.cfg.SensorNoiseC > 0 {
+			v += p.rng.NormFloat64() * p.cfg.SensorNoiseC
+		}
+		if p.cfg.SensorQuantC > 0 {
+			v = math.Round(v/p.cfg.SensorQuantC) * p.cfg.SensorQuantC
+		}
+		dst[i] = v
+	}
+	p.counters.CacheMisses += p.cfg.SampleCacheMisses
+	p.counters.PageFaults += p.cfg.SamplePageFaults
+	return dst
+}
+
+// installThreads pushes the workload's current thread set into the scheduler
+// if it changed (application switch in a Sequence).
+func (p *Platform) installThreads() {
+	threads := p.work.Threads()
+	if sameThreads(threads, p.lastThreads) {
+		return
+	}
+	p.sch.SetThreads(threads)
+	p.lastThreads = threads
+	p.appSwitches++
+}
+
+func sameThreads(a, b []*workload.Thread) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the platform by one tick.
+func (p *Platform) Step() {
+	dt := p.cfg.TickS
+
+	// Governor decisions at their own cadence.
+	p.govClock += dt
+	if p.govClock >= p.cfg.GovernorIntervalS {
+		for c := range p.govs {
+			util := p.busyAccum[c] / p.govClock
+			next := p.govs[c].Decide(util, p.coreLevel[c])
+			if next != p.coreLevel[c] {
+				p.chargeDVFSTransition(c)
+				p.coreLevel[c] = next
+			}
+			p.busyAccum[c] = 0
+		}
+		p.govClock = 0
+	}
+
+	// Scheduler tick at current frequencies.
+	for c, l := range p.coreLevel {
+		p.freqs[c] = p.cfg.Levels[l].FrequencyGHz
+	}
+	stats := p.sch.Tick(dt, p.freqs)
+	p.work.Step()
+	p.installThreads()
+
+	// Charge migration counter costs.
+	if m := p.sch.Migrations(); m != p.lastMigrations {
+		d := m - p.lastMigrations
+		p.counters.CacheMisses += d * p.cfg.MigrationCacheMisses
+		p.counters.PageFaults += d * p.cfg.MigrationPageFaults
+		p.lastMigrations = m
+	}
+
+	// Power from activity and temperature; then thermal step.
+	temps := p.Temperatures()
+	var dynTotal, statTotal float64
+	for c := range p.dynPow {
+		l := p.cfg.Levels[p.coreLevel[c]]
+		dyn := p.cfg.Power.DynamicPower(l, stats.CoreActivity[c]) * p.powerScale[c]
+		leak := p.cfg.Power.LeakagePower(l, temps[c])
+		p.dynPow[c] = dyn + leak
+		dynTotal += dyn
+		statTotal += leak
+		p.busyAccum[c] += stats.CoreBusy[c] * dt
+	}
+	p.fp.FillPowerVector(p.powerVec, p.dynPow)
+	if err := p.solver.Step(dt, p.powerVec); err != nil {
+		panic(err) // sizes are fixed at construction; cannot happen
+	}
+	p.meter.Accumulate(dynTotal, statTotal, dt)
+	p.now += dt
+}
+
+// Done reports whether the workload has finished.
+func (p *Platform) Done() bool { return p.work.Done() }
+
+// Tick returns the configured tick length in seconds.
+func (p *Platform) Tick() float64 { return p.cfg.TickS }

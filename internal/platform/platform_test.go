@@ -1,0 +1,420 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func testApp(work float64) *workload.Application {
+	threads := make([]*workload.Thread, 4)
+	for i := range threads {
+		threads[i] = workload.NewThread(i, "test", []workload.Phase{
+			{Kind: workload.Burst, Work: work, Activity: 0.95},
+			{Kind: workload.Sync, Work: work / 10, Activity: 0.1},
+		})
+	}
+	return workload.NewApplication("test", threads, 0)
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero tick", func(c *Config) { c.TickS = 0 }},
+		{"no levels", func(c *Config) { c.Levels = nil }},
+		{"core mismatch", func(c *Config) { c.Sched.NumCores = 2 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			New(cfg, testApp(1))
+		})
+	}
+}
+
+func TestPlatformRunsWorkloadToCompletion(t *testing.T) {
+	app := testApp(5)
+	p := New(DefaultConfig(), app)
+	steps := 0
+	for !p.Done() {
+		p.Step()
+		steps++
+		if steps > 200000 {
+			t.Fatal("workload never finished")
+		}
+	}
+	if math.Abs(app.CompletedWork()-app.TotalWork()) > 1e-6 {
+		t.Errorf("completed %g != total %g", app.CompletedWork(), app.TotalWork())
+	}
+	if p.Now() <= 0 {
+		t.Error("simulated time did not advance")
+	}
+	if p.Meter().TotalEnergy() <= 0 {
+		t.Error("no energy was metered")
+	}
+}
+
+func TestTemperaturesRiseUnderLoad(t *testing.T) {
+	p := New(DefaultConfig(), testApp(1e6))
+	amb := p.Temperatures()[0]
+	for i := 0; i < 3000; i++ { // 30 s of heavy load
+		p.Step()
+	}
+	temps := p.Temperatures()
+	for c, v := range temps {
+		if v <= amb+5 {
+			t.Errorf("core %d only reached %.1f C from %.1f C under full load", c, v, amb)
+		}
+	}
+}
+
+func TestOndemandRampsUpUnderLoad(t *testing.T) {
+	p := New(DefaultConfig(), testApp(1e6))
+	for i := 0; i < 100; i++ { // 1 s
+		p.Step()
+	}
+	levels := p.CoreLevels()
+	// All four cores have a hungry thread: ondemand must be at max.
+	max := len(p.Levels()) - 1
+	for c, l := range levels {
+		if l != max {
+			t.Errorf("core %d at level %d, want %d under full load", c, l, max)
+		}
+	}
+}
+
+func TestPowersaveKeepsLowestLevel(t *testing.T) {
+	p := New(DefaultConfig(), testApp(1e6))
+	p.SetGovernorAll(governor.Powersave, 0)
+	for i := 0; i < 200; i++ {
+		p.Step()
+	}
+	for c, l := range p.CoreLevels() {
+		if l != 0 {
+			t.Errorf("core %d at level %d under powersave, want 0", c, l)
+		}
+	}
+}
+
+func TestFrequencyAffectsCompletionTime(t *testing.T) {
+	run := func(kind governor.Kind, fixed int) float64 {
+		app := testApp(20)
+		p := New(DefaultConfig(), app)
+		p.SetGovernorAll(kind, fixed)
+		for !p.Done() {
+			p.Step()
+			if p.Now() > 10000 {
+				t.Fatal("did not finish")
+			}
+		}
+		return p.Now()
+	}
+	fast := run(governor.Userspace, len(DefaultConfig().Levels)-1)
+	slow := run(governor.Powersave, 0)
+	if fast >= slow {
+		t.Errorf("3.4 GHz run (%.1f s) should beat powersave (%.1f s)", fast, slow)
+	}
+	ratio := slow / fast
+	if math.Abs(ratio-3.4/1.6) > 0.4 {
+		t.Errorf("time ratio %.2f, want near %.2f", ratio, 3.4/1.6)
+	}
+}
+
+func TestPowersaveUsesLessPower(t *testing.T) {
+	run := func(kind governor.Kind) float64 {
+		p := New(DefaultConfig(), testApp(1e6))
+		p.SetGovernorAll(kind, 0)
+		for i := 0; i < 2000; i++ {
+			p.Step()
+		}
+		return p.Meter().AverageDynamicPower()
+	}
+	if ps, perf := run(governor.Powersave), run(governor.Performance); ps >= perf {
+		t.Errorf("powersave power %.1f W >= performance %.1f W", ps, perf)
+	}
+}
+
+func TestReadSensorsQuantizesAndCharges(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SensorQuantC = 1.0
+	p := New(cfg, testApp(1e6))
+	for i := 0; i < 500; i++ {
+		p.Step()
+	}
+	before := p.PerfCounters()
+	dst := make([]float64, p.NumCores())
+	p.ReadSensors(dst)
+	after := p.PerfCounters()
+	if after.CacheMisses-before.CacheMisses != cfg.SampleCacheMisses {
+		t.Errorf("cache miss charge = %d, want %d", after.CacheMisses-before.CacheMisses, cfg.SampleCacheMisses)
+	}
+	if after.PageFaults-before.PageFaults != cfg.SamplePageFaults {
+		t.Errorf("page fault charge = %d, want %d", after.PageFaults-before.PageFaults, cfg.SamplePageFaults)
+	}
+	for i, v := range dst {
+		if v != math.Round(v) {
+			t.Errorf("sensor %d = %g not quantized to 1 C", i, v)
+		}
+	}
+	// Oracle access must be free and unquantized in general.
+	c0 := p.PerfCounters()
+	p.Temperatures()
+	if p.PerfCounters() != c0 {
+		t.Error("Temperatures() must not charge counters")
+	}
+}
+
+func TestMigrationChargesCounters(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg, testApp(1e6))
+	p.Step() // place threads
+	before := p.PerfCounters()
+	// Force a migration by pinning thread 0 to a different core.
+	cur := p.Scheduler().Placement(0)
+	target := (cur + 1) % p.NumCores()
+	if err := p.SetAffinity(0, sched.AffinityMask(1)<<uint(target)); err != nil {
+		t.Fatal(err)
+	}
+	p.Step()
+	after := p.PerfCounters()
+	if after.CacheMisses-before.CacheMisses < cfg.MigrationCacheMisses {
+		t.Errorf("migration did not charge cache misses: %d", after.CacheMisses-before.CacheMisses)
+	}
+}
+
+func TestSetCoreLevelPins(t *testing.T) {
+	p := New(DefaultConfig(), testApp(1e6))
+	if err := p.SetCoreLevel(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p.Step()
+	}
+	if p.CoreLevels()[2] != 1 {
+		t.Errorf("core 2 level = %d, want pinned 1", p.CoreLevels()[2])
+	}
+	if err := p.SetCoreLevel(9, 0); err == nil {
+		t.Error("expected error for bad core")
+	}
+	if err := p.SetCoreLevel(0, 99); err == nil {
+		t.Error("expected error for bad level")
+	}
+}
+
+func TestSetCoreGovernorValidation(t *testing.T) {
+	p := New(DefaultConfig(), testApp(1))
+	if err := p.SetCoreGovernor(-1, governor.Ondemand, 0); err == nil {
+		t.Error("expected error for bad core")
+	}
+	if err := p.SetCoreGovernor(0, governor.Performance, 0); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestAppSwitchDetection(t *testing.T) {
+	mk := func(name string) *workload.Application {
+		return workload.NewApplication(name, []*workload.Thread{
+			workload.NewThread(0, name, []workload.Phase{{Kind: workload.Burst, Work: 2, Activity: 0.9}}),
+		}, 0)
+	}
+	seq := workload.NewSequence(mk("a"), mk("b"))
+	p := New(DefaultConfig(), seq)
+	if p.AppSwitches() != 0 {
+		t.Errorf("AppSwitches at start = %d, want 0", p.AppSwitches())
+	}
+	for !p.Done() {
+		p.Step()
+		if p.Now() > 1000 {
+			t.Fatal("sequence did not finish")
+		}
+	}
+	if p.AppSwitches() != 1 {
+		t.Errorf("AppSwitches = %d, want 1", p.AppSwitches())
+	}
+}
+
+func TestLeakageGrowsWithTemperature(t *testing.T) {
+	p := New(DefaultConfig(), testApp(1e6))
+	var coldLeak, hotLeak float64
+	// Sample leakage early (cold) ...
+	for i := 0; i < 50; i++ {
+		p.Step()
+	}
+	m := p.Meter()
+	coldLeak = m.StaticEnergy() / m.Elapsed()
+	// ... and after heating up.
+	e0, t0 := m.StaticEnergy(), m.Elapsed()
+	for i := 0; i < 5000; i++ {
+		p.Step()
+	}
+	hotLeak = (m.StaticEnergy() - e0) / (m.Elapsed() - t0)
+	if hotLeak <= coldLeak {
+		t.Errorf("hot leakage %.2f W should exceed cold leakage %.2f W", hotLeak, coldLeak)
+	}
+}
+
+func TestHeterogeneousPowerScale(t *testing.T) {
+	run := func(scale []float64) float64 {
+		cfg := DefaultConfig()
+		cfg.CorePowerScale = scale
+		p := New(cfg, testApp(1e6))
+		for i := 0; i < 1000; i++ {
+			p.Step()
+		}
+		return p.Meter().AverageDynamicPower()
+	}
+	full := run(nil)
+	half := run([]float64{0.5, 0.5, 0.5, 0.5})
+	if half >= full {
+		t.Errorf("halved power scale should cut power: %g vs %g", half, full)
+	}
+}
+
+func TestHeterogeneousPowerScaleValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CorePowerScale = []float64{1}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong CorePowerScale length")
+		}
+	}()
+	New(cfg, testApp(1))
+}
+
+func TestConcurrentWorkloadOnPlatform(t *testing.T) {
+	mk := func(name string) *workload.Application {
+		threads := make([]*workload.Thread, 3)
+		for i := range threads {
+			threads[i] = workload.NewThread(i, name, []workload.Phase{
+				{Kind: workload.Burst, Work: 5, Activity: 0.8},
+				{Kind: workload.Sync, Work: 0.5, Activity: 0.1},
+			})
+		}
+		return workload.NewApplication(name, threads, 0)
+	}
+	con := workload.NewConcurrent(mk("a"), mk("b"))
+	p := New(DefaultConfig(), con)
+	for !p.Done() && p.Now() < 1000 {
+		p.Step()
+	}
+	if !p.Done() {
+		t.Fatal("concurrent workload did not finish")
+	}
+	// No app switch should have been observed: the thread set is stable.
+	if p.AppSwitches() != 0 {
+		t.Errorf("AppSwitches = %d, want 0 for concurrent workload", p.AppSwitches())
+	}
+}
+
+func TestManycorePlatform(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GridRows, cfg.GridCols = 4, 4
+	cfg.Sched.NumCores = 16
+	threads := make([]*workload.Thread, 20)
+	for i := range threads {
+		threads[i] = workload.NewThread(i, "many", []workload.Phase{
+			{Kind: workload.Burst, Work: 8, Activity: 0.8},
+		})
+	}
+	app := workload.NewApplication("many", threads, 0)
+	p := New(cfg, app)
+	if p.NumCores() != 16 {
+		t.Fatalf("NumCores = %d, want 16", p.NumCores())
+	}
+	for !p.Done() && p.Now() < 500 {
+		p.Step()
+	}
+	if !p.Done() {
+		t.Fatal("manycore workload did not finish")
+	}
+	// All 16 cores must have been used (load balancing spreads 20 threads).
+	temps := p.Temperatures()
+	if len(temps) != 16 {
+		t.Fatalf("got %d temperatures", len(temps))
+	}
+	for c, v := range temps {
+		if v < cfg.Floorplan.AmbientC {
+			t.Errorf("core %d below ambient: %g", c, v)
+		}
+	}
+}
+
+func TestManycoreMismatchPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GridRows, cfg.GridCols = 4, 4 // 16 cores, but Sched.NumCores is 4
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for grid/scheduler mismatch")
+		}
+	}()
+	New(cfg, testApp(1))
+}
+
+func BenchmarkPlatformStep(b *testing.B) {
+	p := New(DefaultConfig(), testApp(1e12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+func TestDVFSTransitionsCounted(t *testing.T) {
+	p := New(DefaultConfig(), testApp(1e6))
+	for i := 0; i < 500; i++ {
+		p.Step()
+	}
+	// Ondemand ramps from the lowest to the highest level: at least one
+	// transition per core.
+	if p.DVFSTransitions() < int64(p.NumCores()) {
+		t.Errorf("DVFSTransitions = %d, want >= %d", p.DVFSTransitions(), p.NumCores())
+	}
+}
+
+func TestDVFSTransitionCostSlowsExecution(t *testing.T) {
+	run := func(cost float64) float64 {
+		cfg := DefaultConfig()
+		cfg.DVFSTransitionS = cost
+		app := testApp(30)
+		p := New(cfg, app)
+		// Conservative steps a level per interval: many transitions.
+		p.SetGovernorAll(governor.Conservative, 0)
+		for !p.Done() && p.Now() < 10000 {
+			p.Step()
+		}
+		return p.Now()
+	}
+	if free, costly := run(0), run(0.5); costly <= free {
+		t.Errorf("transition cost should slow execution: %g vs %g", costly, free)
+	}
+}
+
+func TestSingleCorePlatform(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GridRows, cfg.GridCols = 1, 1
+	cfg.Sched.NumCores = 1
+	threads := []*workload.Thread{
+		workload.NewThread(0, "solo", []workload.Phase{{Kind: workload.Burst, Work: 10, Activity: 0.9}}),
+		workload.NewThread(1, "solo", []workload.Phase{{Kind: workload.Burst, Work: 10, Activity: 0.9}}),
+	}
+	app := workload.NewApplication("solo", threads, 0)
+	p := New(cfg, app)
+	for !p.Done() && p.Now() < 1000 {
+		p.Step()
+	}
+	if !p.Done() {
+		t.Fatal("single-core platform did not finish")
+	}
+	if p.NumCores() != 1 {
+		t.Errorf("NumCores = %d", p.NumCores())
+	}
+}

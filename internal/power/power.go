@@ -1,0 +1,161 @@
+// Package power models per-core CPU power consumption under DVFS.
+//
+// Dynamic power follows the classic switching model
+//
+//	P_dyn = Ceff * V^2 * f * activity
+//
+// where Ceff lumps effective switched capacitance, V is the supply voltage,
+// f the clock frequency and activity in [0,1] the fraction of switching
+// activity (an idle-but-clocked core still draws a small floor).
+//
+// Leakage (static) power is super-linearly temperature dependent:
+//
+//	P_leak = V * I0 * exp(Beta * (T - Tref))
+//
+// a standard compact approximation of the subthreshold-leakage exponential
+// used when a full BSIM model is unavailable. This temperature dependence is
+// what lets the controller's lower average temperatures translate into the
+// static-energy savings the paper reports in Section 6.5.
+//
+// The package also provides the discrete voltage-frequency operating points
+// ("P-states") that stand in for the paper's cpufreq frequency levels,
+// including the 2.4 GHz and 3.4 GHz userspace points of Table 3.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Level is one DVFS operating point.
+type Level struct {
+	// FrequencyGHz is the clock frequency in GHz.
+	FrequencyGHz float64
+	// VoltageV is the supply voltage in volts.
+	VoltageV float64
+}
+
+// String formats the level like "2.40GHz@1.05V".
+func (l Level) String() string {
+	return fmt.Sprintf("%.2fGHz@%.2fV", l.FrequencyGHz, l.VoltageV)
+}
+
+// DefaultLevels returns the five operating points of the simulated quad-core,
+// ordered from lowest to highest frequency. Index 2 is 2.4 GHz and index 4 is
+// 3.4 GHz, the two userspace frequencies of Table 3.
+func DefaultLevels() []Level {
+	return []Level{
+		{FrequencyGHz: 1.6, VoltageV: 0.85},
+		{FrequencyGHz: 2.0, VoltageV: 0.95},
+		{FrequencyGHz: 2.4, VoltageV: 1.05},
+		{FrequencyGHz: 2.8, VoltageV: 1.15},
+		{FrequencyGHz: 3.4, VoltageV: 1.25},
+	}
+}
+
+// Model computes core power from operating point, activity and temperature.
+type Model struct {
+	// Ceff is the effective switched capacitance in nF (so that
+	// Ceff * V^2 * f_GHz yields watts).
+	Ceff float64
+	// ActivityFloor is the minimum switching activity of a clocked core
+	// (clock tree, idle loops). Activity passed to DynamicPower is clamped
+	// to at least this floor.
+	ActivityFloor float64
+	// LeakI0 is the leakage current scale in amperes at Tref.
+	LeakI0 float64
+	// LeakBeta is the exponential temperature coefficient (1/K).
+	LeakBeta float64
+	// LeakTrefC is the leakage reference temperature in degrees Celsius.
+	LeakTrefC float64
+}
+
+// DefaultModel returns parameters calibrated against the floorplan defaults:
+// a fully active core at 3.4 GHz draws ~9 W dynamic, and leakage adds
+// ~0.6-2 W per core over the 35-75 C range (so chip power spans roughly
+// 3-45 W, matching the ~30 W average dynamic power scale of Fig. 9).
+func DefaultModel() Model {
+	return Model{
+		Ceff:          1.3,
+		ActivityFloor: 0.04,
+		LeakI0:        0.5,
+		LeakBeta:      0.025,
+		LeakTrefC:     45.0,
+	}
+}
+
+// DynamicPower returns the dynamic power in watts for the given level and
+// activity. Activity is clamped to [ActivityFloor, 1].
+func (m Model) DynamicPower(l Level, activity float64) float64 {
+	a := clamp(activity, m.ActivityFloor, 1)
+	return m.Ceff * l.VoltageV * l.VoltageV * l.FrequencyGHz * a
+}
+
+// LeakagePower returns the static power in watts at the given level and core
+// temperature (degrees Celsius).
+func (m Model) LeakagePower(l Level, tempC float64) float64 {
+	return l.VoltageV * m.LeakI0 * math.Exp(m.LeakBeta*(tempC-m.LeakTrefC))
+}
+
+// TotalPower returns dynamic + leakage power in watts.
+func (m Model) TotalPower(l Level, activity, tempC float64) float64 {
+	return m.DynamicPower(l, activity) + m.LeakagePower(l, tempC)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Meter accumulates dynamic and static energy over time, standing in for the
+// likwid-powermeter readings the paper uses in Section 6.5.
+type Meter struct {
+	dynamicJ float64
+	staticJ  float64
+	elapsedS float64
+}
+
+// Accumulate adds dt seconds at the given dynamic and static power draw (W).
+func (mt *Meter) Accumulate(dynW, statW, dt float64) {
+	mt.dynamicJ += dynW * dt
+	mt.staticJ += statW * dt
+	mt.elapsedS += dt
+}
+
+// DynamicEnergy returns the accumulated dynamic energy in joules.
+func (mt *Meter) DynamicEnergy() float64 { return mt.dynamicJ }
+
+// StaticEnergy returns the accumulated static (leakage) energy in joules.
+func (mt *Meter) StaticEnergy() float64 { return mt.staticJ }
+
+// TotalEnergy returns dynamic + static energy in joules.
+func (mt *Meter) TotalEnergy() float64 { return mt.dynamicJ + mt.staticJ }
+
+// Elapsed returns the metered wall time in seconds.
+func (mt *Meter) Elapsed() float64 { return mt.elapsedS }
+
+// AverageDynamicPower returns dynamic energy divided by elapsed time (W), or
+// zero if no time has been metered.
+func (mt *Meter) AverageDynamicPower() float64 {
+	if mt.elapsedS == 0 {
+		return 0
+	}
+	return mt.dynamicJ / mt.elapsedS
+}
+
+// AverageTotalPower returns total energy divided by elapsed time (W), or
+// zero if no time has been metered.
+func (mt *Meter) AverageTotalPower() float64 {
+	if mt.elapsedS == 0 {
+		return 0
+	}
+	return (mt.dynamicJ + mt.staticJ) / mt.elapsedS
+}
+
+// Reset clears the meter.
+func (mt *Meter) Reset() { *mt = Meter{} }

@@ -1,0 +1,181 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultLevelsOrdered(t *testing.T) {
+	levels := DefaultLevels()
+	if len(levels) != 5 {
+		t.Fatalf("len(levels) = %d, want 5", len(levels))
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i].FrequencyGHz <= levels[i-1].FrequencyGHz {
+			t.Errorf("levels not ascending in frequency at %d", i)
+		}
+		if levels[i].VoltageV <= levels[i-1].VoltageV {
+			t.Errorf("levels not ascending in voltage at %d", i)
+		}
+	}
+	// The two userspace points of Table 3 must be present.
+	if levels[2].FrequencyGHz != 2.4 {
+		t.Errorf("levels[2] = %v, want 2.4 GHz", levels[2])
+	}
+	if levels[4].FrequencyGHz != 3.4 {
+		t.Errorf("levels[4] = %v, want 3.4 GHz", levels[4])
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	l := Level{FrequencyGHz: 2.4, VoltageV: 1.05}
+	if got := l.String(); got != "2.40GHz@1.05V" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestDynamicPowerScaling(t *testing.T) {
+	m := DefaultModel()
+	levels := DefaultLevels()
+	lo := m.DynamicPower(levels[0], 1.0)
+	hi := m.DynamicPower(levels[4], 1.0)
+	// Cubic-ish scaling: 3.4 GHz @1.25 V vs 1.6 GHz @0.85 V is ~3.7x.
+	if hi <= 2*lo {
+		t.Errorf("expected strong DVFS power scaling, got lo=%g hi=%g", lo, hi)
+	}
+	// Calibration: full-activity top-frequency core ~7 W.
+	if hi < 6 || hi > 10 {
+		t.Errorf("top-level dynamic power = %.2f W, want 6-10 W", hi)
+	}
+}
+
+func TestDynamicPowerActivityFloor(t *testing.T) {
+	m := DefaultModel()
+	l := DefaultLevels()[4]
+	idle := m.DynamicPower(l, 0)
+	floor := m.DynamicPower(l, m.ActivityFloor)
+	if idle != floor {
+		t.Errorf("idle power %g should equal floor power %g", idle, floor)
+	}
+	if idle <= 0 {
+		t.Error("idle power must be positive (clock tree)")
+	}
+	over := m.DynamicPower(l, 2.0)
+	full := m.DynamicPower(l, 1.0)
+	if over != full {
+		t.Errorf("activity should clamp at 1: %g vs %g", over, full)
+	}
+}
+
+func TestDynamicPowerMonotoneInActivity(t *testing.T) {
+	m := DefaultModel()
+	l := DefaultLevels()[2]
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		x, y := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if x > y {
+			x, y = y, x
+		}
+		return m.DynamicPower(l, x) <= m.DynamicPower(l, y)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeakagePowerTemperatureDependence(t *testing.T) {
+	m := DefaultModel()
+	l := DefaultLevels()[2]
+	cold := m.LeakagePower(l, 35)
+	hot := m.LeakagePower(l, 75)
+	if hot <= cold {
+		t.Errorf("leakage must grow with temperature: %g at 35C vs %g at 75C", cold, hot)
+	}
+	// exp(0.025*40) ~ 2.7x over 40 degrees.
+	if ratio := hot / cold; ratio < 2 || ratio > 4 {
+		t.Errorf("leakage ratio over 40C = %.2f, want 2-4", ratio)
+	}
+	// At the reference temperature the leakage is V*I0 exactly.
+	ref := m.LeakagePower(l, m.LeakTrefC)
+	if math.Abs(ref-l.VoltageV*m.LeakI0) > 1e-12 {
+		t.Errorf("leakage at Tref = %g, want %g", ref, l.VoltageV*m.LeakI0)
+	}
+}
+
+func TestLeakagePowerVoltageDependence(t *testing.T) {
+	m := DefaultModel()
+	levels := DefaultLevels()
+	if m.LeakagePower(levels[4], 50) <= m.LeakagePower(levels[0], 50) {
+		t.Error("leakage must grow with voltage")
+	}
+}
+
+func TestTotalPowerIsSum(t *testing.T) {
+	m := DefaultModel()
+	l := DefaultLevels()[3]
+	got := m.TotalPower(l, 0.7, 55)
+	want := m.DynamicPower(l, 0.7) + m.LeakagePower(l, 55)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("TotalPower = %g, want %g", got, want)
+	}
+}
+
+func TestMeterAccumulation(t *testing.T) {
+	var mt Meter
+	mt.Accumulate(10, 2, 1.5)
+	mt.Accumulate(20, 4, 0.5)
+	if got := mt.DynamicEnergy(); math.Abs(got-25) > 1e-12 {
+		t.Errorf("DynamicEnergy = %g, want 25", got)
+	}
+	if got := mt.StaticEnergy(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("StaticEnergy = %g, want 5", got)
+	}
+	if got := mt.TotalEnergy(); math.Abs(got-30) > 1e-12 {
+		t.Errorf("TotalEnergy = %g, want 30", got)
+	}
+	if got := mt.Elapsed(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Elapsed = %g, want 2", got)
+	}
+	if got := mt.AverageDynamicPower(); math.Abs(got-12.5) > 1e-12 {
+		t.Errorf("AverageDynamicPower = %g, want 12.5", got)
+	}
+	if got := mt.AverageTotalPower(); math.Abs(got-15) > 1e-12 {
+		t.Errorf("AverageTotalPower = %g, want 15", got)
+	}
+}
+
+func TestMeterZeroElapsed(t *testing.T) {
+	var mt Meter
+	if mt.AverageDynamicPower() != 0 || mt.AverageTotalPower() != 0 {
+		t.Error("averages with zero elapsed time must be 0")
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	var mt Meter
+	mt.Accumulate(10, 2, 1)
+	mt.Reset()
+	if mt.TotalEnergy() != 0 || mt.Elapsed() != 0 {
+		t.Error("Reset did not clear meter")
+	}
+}
+
+// Property: meter accumulation is additive — splitting an interval in two
+// gives the same energy.
+func TestMeterAdditivity(t *testing.T) {
+	f := func(dyn, stat uint16, split uint8) bool {
+		d, s := float64(dyn)/100, float64(stat)/100
+		frac := float64(split) / 255
+		var whole, parts Meter
+		whole.Accumulate(d, s, 2.0)
+		parts.Accumulate(d, s, 2.0*frac)
+		parts.Accumulate(d, s, 2.0*(1-frac))
+		return math.Abs(whole.TotalEnergy()-parts.TotalEnergy()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package reliability_test
+
+import (
+	"fmt"
+
+	"repro/internal/reliability"
+)
+
+// Rainflow-count a simple thermal profile and evaluate its fatigue stress.
+func ExampleRainflow() {
+	// A core that swings 40 -> 60 -> 40 C twice.
+	profile := []float64{40, 60, 40, 60, 40}
+	cycles := reliability.Rainflow(profile)
+	var full, half int
+	for _, c := range cycles {
+		if c.Count == 1 {
+			full++
+		} else {
+			half++
+		}
+	}
+	fmt.Printf("cycles: %d full, %d half\n", full, half)
+	p := reliability.DefaultCyclingParams()
+	fmt.Printf("stress positive: %v\n", p.ThermalStress(cycles) > 0)
+	// Output:
+	// cycles: 0 full, 4 half
+	// stress positive: true
+}
+
+// Compute the aging MTTF of a core held at two different temperatures.
+func ExampleAgingParams_AgingMTTFFromSeries() {
+	p := reliability.DefaultAgingParams()
+	idle := make([]float64, 10)
+	hot := make([]float64, 10)
+	for i := range idle {
+		idle[i], hot[i] = 33, 70
+	}
+	fmt.Printf("idle: %.1f years\n", p.AgingMTTFFromSeries(idle))
+	fmt.Printf("hot core ages faster: %v\n", p.AgingMTTFFromSeries(hot) < 5)
+	// Output:
+	// idle: 10.0 years
+	// hot core ages faster: true
+}
+
+// Combine wear-out mechanisms with the sum-of-failure-rates model.
+func ExampleCombinedMTTF() {
+	fmt.Printf("%.1f years\n", reliability.CombinedMTTF(10, 10))
+	// Output:
+	// 5.0 years
+}

@@ -1,0 +1,210 @@
+package reliability
+
+import "math"
+
+// Physical constants.
+const (
+	// BoltzmannEV is the Boltzmann constant in eV/K.
+	BoltzmannEV = 8.617333262e-5
+	// SecondsPerYear converts simulated seconds to calendar years.
+	SecondsPerYear = 365.25 * 24 * 3600
+)
+
+// CyclingParams hold the Coffin-Manson / Miner constants of Eq. 3-6.
+type CyclingParams struct {
+	// ATC is the empirically determined Coffin-Manson scale constant
+	// (cycles * K^b); set it via CalibrateCycling.
+	ATC float64
+	// TTh is the amplitude (K) at which elastic deformation begins; cycles
+	// with a smaller range cause no plastic fatigue and are ignored.
+	TTh float64
+	// B is the Coffin-Manson exponent.
+	B float64
+	// EaEV is the activation energy in eV for the Arrhenius factor of
+	// Eq. 3 (temperature acceleration of fatigue).
+	EaEV float64
+}
+
+// DefaultCyclingParams returns the fatigue constants used throughout this
+// repository. The ATC scale is calibrated so that a reference mild cycling
+// profile (3 K swings above threshold around 42 C with a 3.5 s period, i.e. a
+// lightly loaded core) yields a 10-year MTTF, mirroring the paper's
+// normalization "MTTF of an unstressed core is 10 years".
+func DefaultCyclingParams() CyclingParams {
+	p := CyclingParams{TTh: 1.0, B: 2.35, EaEV: 0.5}
+	p.ATC = calibrateATC(p, 3.0, 42.0, 3.5, 10.0)
+	return p
+}
+
+// calibrateATC picks ATC so a sustained train of identical cycles with the
+// given amplitude above threshold (K), maximum temperature (C) and period (s)
+// has an MTTF of targetYears.
+func calibrateATC(p CyclingParams, ampAboveTh, maxC, periodS, targetYears float64) float64 {
+	stressPerCycle := math.Pow(ampAboveTh, p.B) * math.Exp(-p.EaEV/(BoltzmannEV*kelvin(maxC)))
+	// MTTF(years) = ATC * duration(years) / stress. For a train of identical
+	// cycles over D seconds: stress = (D/period)*stressPerCycle, so
+	// MTTF = ATC * period / (SecondsPerYear * stressPerCycle). Solve for ATC.
+	return targetYears * SecondsPerYear * stressPerCycle / periodS
+}
+
+// CyclesToFailure evaluates Eq. 3 for one cycle: the number of such cycles
+// the core survives. Cycles at or below the elastic threshold return +Inf.
+func (p CyclingParams) CyclesToFailure(c Cycle) float64 {
+	if c.Range <= p.TTh {
+		return math.Inf(1)
+	}
+	return p.ATC * math.Pow(c.Range-p.TTh, -p.B) * math.Exp(p.EaEV/(BoltzmannEV*kelvin(c.Max)))
+}
+
+// ThermalStress evaluates Eq. 6 over a set of rainflow cycles: the
+// accumulated plastic fatigue stress. Cycles below the elastic threshold
+// contribute nothing; half cycles contribute half.
+func (p CyclingParams) ThermalStress(cycles []Cycle) float64 {
+	var stress float64
+	for _, c := range cycles {
+		if c.Range <= p.TTh {
+			continue
+		}
+		stress += c.Count * math.Pow(c.Range-p.TTh, p.B) *
+			math.Exp(-p.EaEV/(BoltzmannEV*kelvin(c.Max)))
+	}
+	return stress
+}
+
+// CyclingMTTF combines Eq. 3-6: MTTF = ATC * duration / ThermalStress,
+// where duration is the observed time in seconds. The result is in years.
+// If the profile produced no plastic cycles the MTTF is +Inf.
+func (p CyclingParams) CyclingMTTF(cycles []Cycle, durationS float64) float64 {
+	stress := p.ThermalStress(cycles)
+	if stress == 0 {
+		return math.Inf(1)
+	}
+	return p.ATC * (durationS / SecondsPerYear) / stress
+}
+
+// CyclingMTTFFromSeries is a convenience that rainflow-counts a temperature
+// series sampled at sampleIntervalS seconds and returns the cycling MTTF in
+// years.
+func (p CyclingParams) CyclingMTTFFromSeries(series []float64, sampleIntervalS float64) float64 {
+	return p.CyclingMTTF(Rainflow(series), float64(len(series))*sampleIntervalS)
+}
+
+// AgingParams hold the constants for the temperature-aging model of Eq. 1-2.
+// The fault density alpha(T) follows an Arrhenius law
+//
+//	alpha(T) = Alpha0 * exp(EaEV / (k*T))
+//
+// (characteristic life shrinks as temperature rises), which covers
+// electromigration and NBTI style wear-out as the paper notes.
+type AgingParams struct {
+	// Alpha0 is the characteristic-life scale in years; set via
+	// CalibrateAging.
+	Alpha0 float64
+	// EaEV is the activation energy in eV.
+	EaEV float64
+	// WeibullBeta is the Weibull slope of R(t) = exp(-(t*A)^beta).
+	WeibullBeta float64
+}
+
+// DefaultAgingParams returns aging constants calibrated so a core idling at
+// 33 C has a 10-year MTTF (the paper's normalization).
+func DefaultAgingParams() AgingParams {
+	p := AgingParams{EaEV: 0.5, WeibullBeta: 2.0}
+	p.Alpha0 = p.calibrateAlpha0(33.0, 10.0)
+	return p
+}
+
+// calibrateAlpha0 picks Alpha0 so a core held at idleC forever has an MTTF of
+// targetYears.
+func (p AgingParams) calibrateAlpha0(idleC, targetYears float64) float64 {
+	// At constant temperature, A = 1/alpha(T) and MTTF = Gamma(1+1/beta)/A
+	// = Gamma(1+1/beta) * alpha(T). Solve for Alpha0.
+	g := math.Gamma(1 + 1/p.WeibullBeta)
+	return targetYears / (g * math.Exp(p.EaEV/(BoltzmannEV*kelvin(idleC))))
+}
+
+// Alpha returns the fault-density characteristic life alpha(T) in years for a
+// temperature in degrees Celsius.
+func (p AgingParams) Alpha(tempC float64) float64 {
+	return p.Alpha0 * math.Exp(p.EaEV/(BoltzmannEV*kelvin(tempC)))
+}
+
+// Aging evaluates Eq. 1 over a sequence of (temperature, duration) intervals:
+// A = sum_i dt_i / (tp * alpha(T_i)), with tp the total execution time. The
+// result has units 1/years.
+func (p AgingParams) Aging(tempsC, durationsS []float64) float64 {
+	if len(tempsC) != len(durationsS) || len(tempsC) == 0 {
+		return 0
+	}
+	var total float64
+	for _, d := range durationsS {
+		total += d
+	}
+	if total == 0 {
+		return 0
+	}
+	var a float64
+	for i, t := range tempsC {
+		a += durationsS[i] / total / p.Alpha(t)
+	}
+	return a
+}
+
+// AgingFromSeries evaluates Eq. 1 for a uniformly sampled temperature series.
+func (p AgingParams) AgingFromSeries(series []float64) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	var a float64
+	for _, t := range series {
+		a += 1 / p.Alpha(t)
+	}
+	return a / float64(len(series))
+}
+
+// AgingMTTF evaluates Eq. 2 for a given aging value A: the mean of the
+// Weibull lifetime distribution R(t) = exp(-(t*A)^beta), i.e.
+// Gamma(1+1/beta)/A, in years. Zero aging yields +Inf.
+func (p AgingParams) AgingMTTF(aging float64) float64 {
+	if aging <= 0 {
+		return math.Inf(1)
+	}
+	return math.Gamma(1+1/p.WeibullBeta) / aging
+}
+
+// AgingMTTFFromSeries computes the aging MTTF (years) directly from a
+// uniformly sampled temperature series in degrees Celsius.
+func (p AgingParams) AgingMTTFFromSeries(series []float64) float64 {
+	return p.AgingMTTF(p.AgingFromSeries(series))
+}
+
+// Reliability evaluates R(t) = exp(-(t*A)^beta) at time t years for aging A.
+func (p AgingParams) Reliability(tYears, aging float64) float64 {
+	if tYears < 0 {
+		return 1
+	}
+	return math.Exp(-math.Pow(tYears*aging, p.WeibullBeta))
+}
+
+func kelvin(c float64) float64 { return c + 273.15 }
+
+// CombinedMTTF combines independent wear-out mechanisms under the
+// sum-of-failure-rates (SOFR) model the paper cites in Section 4.1: failure
+// rates add, so 1/MTTF = sum_i 1/MTTF_i. Infinite inputs (mechanisms that
+// never trigger) contribute nothing; no finite input yields +Inf; a
+// non-positive input yields 0 (already failed).
+func CombinedMTTF(mttfs ...float64) float64 {
+	var rate float64
+	for _, m := range mttfs {
+		if m <= 0 {
+			return 0
+		}
+		if !math.IsInf(m, 1) {
+			rate += 1 / m
+		}
+	}
+	if rate == 0 {
+		return math.Inf(1)
+	}
+	return 1 / rate
+}

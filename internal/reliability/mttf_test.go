@@ -1,0 +1,305 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCyclingCalibration(t *testing.T) {
+	p := DefaultCyclingParams()
+	// The reference profile: 3 K above threshold (range 4 K with TTh=1),
+	// Tmax 42 C, 3.5 s period, must give 10-year MTTF.
+	var series []float64
+	for i := 0; i < 1000; i++ {
+		series = append(series, 38, 42)
+	}
+	series = append(series, 38)
+	mttf := p.CyclingMTTFFromSeries(series, 1.75) // 2 samples per 3.5 s period
+	if math.Abs(mttf-10) > 0.2 {
+		t.Errorf("reference-profile cycling MTTF = %.3f years, want ~10", mttf)
+	}
+}
+
+func TestCyclesToFailure(t *testing.T) {
+	p := DefaultCyclingParams()
+	// Below elastic threshold: never fails.
+	if n := p.CyclesToFailure(Cycle{Range: 0.8, Max: 80}); !math.IsInf(n, 1) {
+		t.Errorf("sub-threshold cycle: N = %g, want +Inf", n)
+	}
+	// Larger swings fail sooner.
+	small := p.CyclesToFailure(Cycle{Range: 10, Max: 60})
+	big := p.CyclesToFailure(Cycle{Range: 30, Max: 60})
+	if big >= small {
+		t.Errorf("bigger swing must fail sooner: N(30)=%g >= N(10)=%g", big, small)
+	}
+	// Hotter cycles fail sooner (Arrhenius in Eq. 3 with exp(-Ea/kT) in
+	// stress, exp(+Ea/kT) in N).
+	cool := p.CyclesToFailure(Cycle{Range: 20, Max: 45})
+	hot := p.CyclesToFailure(Cycle{Range: 20, Max: 80})
+	if hot >= cool {
+		t.Errorf("hotter cycle must fail sooner: N(80C)=%g >= N(45C)=%g", hot, cool)
+	}
+}
+
+func TestThermalStressProperties(t *testing.T) {
+	p := DefaultCyclingParams()
+	if s := p.ThermalStress(nil); s != 0 {
+		t.Errorf("stress of no cycles = %g, want 0", s)
+	}
+	sub := []Cycle{{Range: 0.5, Max: 70, Count: 1}}
+	if s := p.ThermalStress(sub); s != 0 {
+		t.Errorf("stress of sub-threshold cycles = %g, want 0", s)
+	}
+	// Half cycle contributes half.
+	full := p.ThermalStress([]Cycle{{Range: 15, Max: 60, Count: 1}})
+	half := p.ThermalStress([]Cycle{{Range: 15, Max: 60, Count: 0.5}})
+	if math.Abs(full-2*half) > 1e-12 {
+		t.Errorf("half cycle stress %g should be half of %g", half, full)
+	}
+	// Additivity.
+	a := []Cycle{{Range: 15, Max: 60, Count: 1}}
+	b := []Cycle{{Range: 25, Max: 70, Count: 1}}
+	ab := append(append([]Cycle{}, a...), b...)
+	if math.Abs(p.ThermalStress(ab)-(p.ThermalStress(a)+p.ThermalStress(b))) > 1e-12 {
+		t.Error("stress must be additive over cycles")
+	}
+}
+
+// Consistency between Eq. 3-5 (per-cycle Miner) and the closed form Eq. 6:
+// MTTF from CyclesToFailure + Miner must equal ATC*duration/stress.
+func TestMinerClosedFormConsistency(t *testing.T) {
+	p := DefaultCyclingParams()
+	cycles := []Cycle{
+		{Range: 12, Max: 55, Count: 1},
+		{Range: 20, Max: 65, Count: 1},
+		{Range: 8, Max: 45, Count: 1},
+	}
+	duration := 30.0 // seconds
+	// Direct Miner: NTC = m / sum(1/N_i); MTTF = NTC * total / m.
+	var invSum float64
+	m := 0.0
+	for _, c := range cycles {
+		invSum += c.Count / p.CyclesToFailure(c)
+		m += c.Count
+	}
+	ntc := m / invSum
+	direct := ntc * (duration / SecondsPerYear) / m
+	closed := p.CyclingMTTF(cycles, duration)
+	if math.Abs(direct-closed)/closed > 1e-9 {
+		t.Errorf("Miner direct %g != closed form %g", direct, closed)
+	}
+}
+
+func TestCyclingMTTFNoStress(t *testing.T) {
+	p := DefaultCyclingParams()
+	if m := p.CyclingMTTF(nil, 100); !math.IsInf(m, 1) {
+		t.Errorf("MTTF with no cycles = %g, want +Inf", m)
+	}
+}
+
+// More frequent cycling (same amplitude) must reduce cycling MTTF.
+func TestCyclingMTTFFrequencyEffect(t *testing.T) {
+	p := DefaultCyclingParams()
+	mk := func(period int) []float64 {
+		var s []float64
+		for i := 0; i < 600; i++ {
+			if (i/period)%2 == 0 {
+				s = append(s, 40)
+			} else {
+				s = append(s, 60)
+			}
+		}
+		return s
+	}
+	fast := p.CyclingMTTFFromSeries(mk(2), 1)
+	slow := p.CyclingMTTFFromSeries(mk(10), 1)
+	if fast >= slow {
+		t.Errorf("faster cycling must hurt: fast=%g slow=%g", fast, slow)
+	}
+}
+
+// Larger amplitude (same frequency) must reduce cycling MTTF.
+func TestCyclingMTTFAmplitudeEffect(t *testing.T) {
+	p := DefaultCyclingParams()
+	mk := func(hi float64) []float64 {
+		var s []float64
+		for i := 0; i < 300; i++ {
+			s = append(s, 40, hi)
+		}
+		return s
+	}
+	gentle := p.CyclingMTTFFromSeries(mk(48), 1)
+	harsh := p.CyclingMTTFFromSeries(mk(70), 1)
+	if harsh >= gentle {
+		t.Errorf("larger swings must hurt: harsh=%g gentle=%g", harsh, gentle)
+	}
+}
+
+func TestAgingCalibration(t *testing.T) {
+	p := DefaultAgingParams()
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = 33.0
+	}
+	mttf := p.AgingMTTFFromSeries(series)
+	if math.Abs(mttf-10) > 1e-6 {
+		t.Errorf("idle-core aging MTTF = %g years, want 10", mttf)
+	}
+}
+
+func TestAgingTemperatureMonotone(t *testing.T) {
+	p := DefaultAgingParams()
+	mk := func(temp float64) []float64 {
+		s := make([]float64, 50)
+		for i := range s {
+			s[i] = temp
+		}
+		return s
+	}
+	cool := p.AgingMTTFFromSeries(mk(40))
+	hot := p.AgingMTTFFromSeries(mk(70))
+	if hot >= cool {
+		t.Errorf("hotter core must age faster: hot=%g cool=%g", hot, cool)
+	}
+	// Paper scale check: ~18 C average reduction gave ~5x MTTF (Table 2
+	// tachyon set 1: 69.2 C -> 50.6 C, 0.7 -> 3.6 years). With Ea=0.5 eV the
+	// model should give a 3-7x ratio over that range.
+	a := p.AgingMTTFFromSeries(mk(69.2))
+	b := p.AgingMTTFFromSeries(mk(50.6))
+	if r := b / a; r < 2.5 || r > 8 {
+		t.Errorf("MTTF ratio over 50.6 vs 69.2 C = %.2f, want 2.5-8 (paper ~5)", r)
+	}
+}
+
+func TestAgingIntervalForm(t *testing.T) {
+	p := DefaultAgingParams()
+	// Interval form must agree with series form for uniform sampling.
+	temps := []float64{40, 50, 60, 45}
+	durs := []float64{1, 1, 1, 1}
+	a1 := p.Aging(temps, durs)
+	a2 := p.AgingFromSeries(temps)
+	if math.Abs(a1-a2) > 1e-15 {
+		t.Errorf("Aging interval form %g != series form %g", a1, a2)
+	}
+	// Mismatched or empty inputs.
+	if p.Aging(temps, durs[:2]) != 0 {
+		t.Error("mismatched lengths should return 0")
+	}
+	if p.Aging(nil, nil) != 0 {
+		t.Error("empty input should return 0")
+	}
+	if p.Aging(temps, []float64{0, 0, 0, 0}) != 0 {
+		t.Error("zero total duration should return 0")
+	}
+}
+
+// Weighted-duration property: doubling the duration weight of the hottest
+// interval increases aging.
+func TestAgingDurationWeighting(t *testing.T) {
+	p := DefaultAgingParams()
+	temps := []float64{40, 70}
+	base := p.Aging(temps, []float64{5, 5})
+	hotter := p.Aging(temps, []float64{2, 8})
+	if hotter <= base {
+		t.Errorf("more time hot must raise aging: %g <= %g", hotter, base)
+	}
+}
+
+func TestAgingMTTFEdgeCases(t *testing.T) {
+	p := DefaultAgingParams()
+	if m := p.AgingMTTF(0); !math.IsInf(m, 1) {
+		t.Errorf("AgingMTTF(0) = %g, want +Inf", m)
+	}
+	if m := p.AgingMTTF(-1); !math.IsInf(m, 1) {
+		t.Errorf("AgingMTTF(-1) = %g, want +Inf", m)
+	}
+	if got := p.AgingFromSeries(nil); got != 0 {
+		t.Errorf("AgingFromSeries(nil) = %g, want 0", got)
+	}
+}
+
+func TestReliabilityCurve(t *testing.T) {
+	p := DefaultAgingParams()
+	a := 0.1 // 1/years
+	if r := p.Reliability(0, a); r != 1 {
+		t.Errorf("R(0) = %g, want 1", r)
+	}
+	if r := p.Reliability(-5, a); r != 1 {
+		t.Errorf("R(-5) = %g, want 1 (clamped)", r)
+	}
+	r1 := p.Reliability(1, a)
+	r10 := p.Reliability(10, a)
+	if !(r1 > r10 && r10 > 0 && r1 < 1) {
+		t.Errorf("R must decrease: R(1)=%g R(10)=%g", r1, r10)
+	}
+}
+
+// Property: aging MTTF is inversely proportional to aging.
+func TestAgingMTTFInverse(t *testing.T) {
+	p := DefaultAgingParams()
+	f := func(x uint16) bool {
+		a := float64(x)/1000 + 0.001
+		m1 := p.AgingMTTF(a)
+		m2 := p.AgingMTTF(2 * a)
+		return math.Abs(m1-2*m2)/m1 < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Integration property: the Weibull mean equals numeric integration of R(t)
+// (Eq. 2: MTTF = integral of R(t) dt).
+func TestAgingMTTFMatchesIntegralOfReliability(t *testing.T) {
+	p := DefaultAgingParams()
+	a := 0.25
+	mttf := p.AgingMTTF(a)
+	// Trapezoidal integration of R(t) out to 10x the MTTF.
+	h := mttf / 2000
+	var integral float64
+	for i := 0; i < 20000; i++ {
+		t0 := float64(i) * h
+		t1 := t0 + h
+		integral += (p.Reliability(t0, a) + p.Reliability(t1, a)) / 2 * h
+	}
+	if math.Abs(integral-mttf)/mttf > 1e-3 {
+		t.Errorf("integral of R = %g, Weibull mean = %g", integral, mttf)
+	}
+}
+
+func TestCombinedMTTFSOFR(t *testing.T) {
+	// Two equal mechanisms halve the lifetime.
+	if got := CombinedMTTF(10, 10); math.Abs(got-5) > 1e-12 {
+		t.Errorf("CombinedMTTF(10,10) = %g, want 5", got)
+	}
+	// An infinite mechanism contributes nothing.
+	if got := CombinedMTTF(10, math.Inf(1)); math.Abs(got-10) > 1e-12 {
+		t.Errorf("CombinedMTTF(10,Inf) = %g, want 10", got)
+	}
+	// All infinite: never fails.
+	if got := CombinedMTTF(math.Inf(1), math.Inf(1)); !math.IsInf(got, 1) {
+		t.Errorf("CombinedMTTF(Inf,Inf) = %g, want +Inf", got)
+	}
+	// Already-failed mechanism dominates.
+	if got := CombinedMTTF(10, 0); got != 0 {
+		t.Errorf("CombinedMTTF(10,0) = %g, want 0", got)
+	}
+	// Empty input: no mechanisms, never fails.
+	if got := CombinedMTTF(); !math.IsInf(got, 1) {
+		t.Errorf("CombinedMTTF() = %g, want +Inf", got)
+	}
+}
+
+// Property: the combined MTTF never exceeds the weakest mechanism.
+func TestCombinedMTTFBoundedByWeakest(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x := float64(a)/1000 + 0.01
+		y := float64(b)/1000 + 0.01
+		c := CombinedMTTF(x, y)
+		return c <= math.Min(x, y)+1e-12 && c > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package reliability implements the lifetime (MTTF) computations of the
+// paper's Section 4: temperature-driven aging (Eq. 1-2) and thermal-cycling
+// fatigue via rainflow counting, the Coffin-Manson relation and Miner's rule
+// (Eq. 3-6).
+package reliability
+
+import "math"
+
+// Cycle is one thermal cycle identified by rainflow counting.
+type Cycle struct {
+	// Range is the cycle amplitude deltaT in kelvin (== degrees Celsius).
+	Range float64
+	// Max is the maximum temperature within the cycle, degrees Celsius.
+	Max float64
+	// Mean is the mean of the two reversal temperatures, degrees Celsius.
+	Mean float64
+	// Count is 1.0 for a full (closed) cycle and 0.5 for a half cycle.
+	Count float64
+}
+
+// ExtractReversals reduces a temperature series to its sequence of local
+// peaks and valleys (including the first and last samples). Runs of equal
+// values are collapsed. A series with fewer than two distinct values yields
+// a nil slice.
+func ExtractReversals(series []float64) []float64 {
+	if len(series) < 2 {
+		return nil
+	}
+	var rev []float64
+	// Skip the initial flat run.
+	i := 1
+	for i < len(series) && series[i] == series[0] {
+		i++
+	}
+	if i == len(series) {
+		return nil
+	}
+	rev = append(rev, series[0])
+	rising := series[i] > series[0]
+	prev := series[i]
+	for _, v := range series[i+1:] {
+		if v == prev {
+			continue
+		}
+		nowRising := v > prev
+		if nowRising != rising {
+			rev = append(rev, prev)
+			rising = nowRising
+		}
+		prev = v
+	}
+	rev = append(rev, prev)
+	return rev
+}
+
+// Rainflow performs ASTM E1049-style rainflow counting (the "simple rainflow"
+// of Downing & Socie cited by the paper) on a temperature series, returning
+// the identified thermal cycles. Closed cycles have Count 1.0; the residual
+// ranges remaining at the end of the history are counted as half cycles
+// (Count 0.5).
+func Rainflow(series []float64) []Cycle {
+	rev := ExtractReversals(series)
+	if len(rev) < 2 {
+		return nil
+	}
+	var cycles []Cycle
+	// stack holds indices into rev of not-yet-consumed reversals.
+	stack := make([]float64, 0, len(rev))
+	// startConsumed tracks whether rev[0] is still at the bottom of the
+	// stack (ASTM rule: ranges containing the start count as half cycles).
+	for _, r := range rev {
+		stack = append(stack, r)
+		for len(stack) >= 3 {
+			n := len(stack)
+			x := math.Abs(stack[n-1] - stack[n-2])
+			y := math.Abs(stack[n-2] - stack[n-3])
+			if x < y {
+				break
+			}
+			if n == 3 {
+				// Y contains the starting point: half cycle, drop start.
+				cycles = append(cycles, makeCycle(stack[0], stack[1], 0.5))
+				stack[0], stack[1] = stack[1], stack[2]
+				stack = stack[:2]
+			} else {
+				// Y is interior: full cycle, remove its two points.
+				cycles = append(cycles, makeCycle(stack[n-3], stack[n-2], 1.0))
+				stack[n-3] = stack[n-1]
+				stack = stack[:n-2]
+			}
+		}
+	}
+	// Residue: each remaining consecutive range is a half cycle.
+	for i := 1; i < len(stack); i++ {
+		cycles = append(cycles, makeCycle(stack[i-1], stack[i], 0.5))
+	}
+	return cycles
+}
+
+func makeCycle(a, b, count float64) Cycle {
+	return Cycle{
+		Range: math.Abs(a - b),
+		Max:   math.Max(a, b),
+		Mean:  (a + b) / 2,
+		Count: count,
+	}
+}

@@ -1,0 +1,194 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtractReversals(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want []float64
+	}{
+		{"empty", nil, nil},
+		{"single", []float64{5}, nil},
+		{"flat", []float64{3, 3, 3}, nil},
+		{"monotone up", []float64{1, 2, 3, 4}, []float64{1, 4}},
+		{"monotone down", []float64{4, 3, 1}, []float64{4, 1}},
+		{"triangle", []float64{0, 5, 0}, []float64{0, 5, 0}},
+		{"plateau peak", []float64{0, 5, 5, 5, 0}, []float64{0, 5, 0}},
+		{"zigzag", []float64{0, 2, 1, 3, 0}, []float64{0, 2, 1, 3, 0}},
+		{"leading flat", []float64{1, 1, 1, 4, 2}, []float64{1, 4, 2}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ExtractReversals(tc.in)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("ExtractReversals(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// The canonical ASTM E1049 example history.
+func TestRainflowASTMExample(t *testing.T) {
+	series := []float64{-2, 1, -3, 5, -1, 3, -4, 4, -2}
+	cycles := Rainflow(series)
+	// Expected (range, count) multiset per ASTM E1049 Table X1.1:
+	// 3:0.5, 4:0.5, 4:1.0, 6:0.5, 8:0.5, 8:0.5, 9:0.5.
+	type rc struct{ r, c float64 }
+	var got []rc
+	for _, cy := range cycles {
+		got = append(got, rc{cy.Range, cy.Count})
+	}
+	want := []rc{{3, 0.5}, {4, 0.5}, {4, 1.0}, {6, 0.5}, {8, 0.5}, {8, 0.5}, {9, 0.5}}
+	less := func(s []rc) func(i, j int) bool {
+		return func(i, j int) bool {
+			if s[i].r != s[j].r {
+				return s[i].r < s[j].r
+			}
+			return s[i].c < s[j].c
+		}
+	}
+	sort.Slice(got, less(got))
+	sort.Slice(want, less(want))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("rainflow cycles = %v, want %v", got, want)
+	}
+}
+
+func TestRainflowTotalCountMatchesReversals(t *testing.T) {
+	// Property: sum of cycle counts equals (#reversals-1)/2 — every
+	// reversal-to-reversal range is accounted exactly once (full cycles
+	// consume two ranges, halves one).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		series := make([]float64, 50)
+		for i := range series {
+			series[i] = math.Round(rng.Float64() * 20)
+		}
+		rev := ExtractReversals(series)
+		if len(rev) < 2 {
+			return true
+		}
+		var total float64
+		for _, c := range Rainflow(series) {
+			total += c.Count
+		}
+		want := float64(len(rev)-1) / 2
+		return math.Abs(total-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRainflowSimpleTriangleWave(t *testing.T) {
+	// Repeating triangle wave 30->50->30: each period closes one cycle of
+	// range 20 (plus boundary halves).
+	var series []float64
+	for i := 0; i < 10; i++ {
+		series = append(series, 30, 50)
+	}
+	series = append(series, 30)
+	cycles := Rainflow(series)
+	var full, half float64
+	for _, c := range cycles {
+		if c.Range != 20 {
+			t.Errorf("unexpected cycle range %g", c.Range)
+		}
+		if c.Count == 1 {
+			full++
+		} else {
+			half += c.Count
+		}
+	}
+	if full+half != 10 {
+		t.Errorf("total cycles = %g, want 10", full+half)
+	}
+}
+
+func TestRainflowCycleFields(t *testing.T) {
+	cycles := Rainflow([]float64{40, 60, 40})
+	if len(cycles) != 2 {
+		t.Fatalf("got %d cycles, want 2 half cycles", len(cycles))
+	}
+	for _, c := range cycles {
+		if c.Range != 20 {
+			t.Errorf("Range = %g, want 20", c.Range)
+		}
+		if c.Max != 60 {
+			t.Errorf("Max = %g, want 60", c.Max)
+		}
+		if c.Mean != 50 {
+			t.Errorf("Mean = %g, want 50", c.Mean)
+		}
+		if c.Count != 0.5 {
+			t.Errorf("Count = %g, want 0.5", c.Count)
+		}
+	}
+}
+
+func TestRainflowEmptyAndConstant(t *testing.T) {
+	if got := Rainflow(nil); got != nil {
+		t.Errorf("Rainflow(nil) = %v, want nil", got)
+	}
+	if got := Rainflow([]float64{42, 42, 42}); got != nil {
+		t.Errorf("Rainflow(constant) = %v, want nil", got)
+	}
+}
+
+// Property: rainflow never produces a cycle larger than the global range.
+func TestRainflowRangeBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		series := make([]float64, 80)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range series {
+			series[i] = rng.Float64() * 40
+			lo = math.Min(lo, series[i])
+			hi = math.Max(hi, series[i])
+		}
+		for _, c := range Rainflow(series) {
+			if c.Range > hi-lo+1e-9 {
+				return false
+			}
+			if c.Max > hi+1e-9 || c.Max < lo-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRainflow(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	series := make([]float64, 2400) // a 10-minute trace at 0.25 s
+	for i := range series {
+		series[i] = 45 + 10*math.Sin(float64(i)/7) + rng.Float64()*3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rainflow(series)
+	}
+}
+
+func BenchmarkThermalStress(b *testing.B) {
+	p := DefaultCyclingParams()
+	cycles := make([]Cycle, 500)
+	for i := range cycles {
+		cycles[i] = Cycle{Range: 5 + float64(i%20), Max: 50, Count: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ThermalStress(cycles)
+	}
+}

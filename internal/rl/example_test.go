@@ -1,0 +1,53 @@
+package rl_test
+
+import (
+	"fmt"
+
+	"repro/internal/rl"
+)
+
+// Drive an agent through a trivial environment and watch it converge.
+func ExampleAgent() {
+	cfg := rl.DefaultAgentConfig(2, 2)
+	agent := rl.NewAgent(cfg)
+	fmt.Println("start:", agent.Phase())
+
+	// Environment: action 1 always pays, action 0 never does.
+	state := 0
+	for !agent.Converged() {
+		action := agent.SelectAction(state)
+		reward := -1.0
+		if action == 1 {
+			reward = 1.0
+		}
+		next := (state + 1) % 2
+		agent.Observe(state, action, reward, next)
+		agent.EndEpoch()
+		state = next
+	}
+	fmt.Println("end:", agent.Phase())
+	fmt.Println("learned best action:", agent.Q().BestAction(0), agent.Q().BestAction(1))
+	// Output:
+	// start: exploration
+	// end: exploitation
+	// learned best action: 1 1
+}
+
+// The dual Q-table of Section 5.4: snapshot at the end of exploration,
+// restore on an intra-application variation, re-learn on an
+// inter-application one.
+func ExampleAgent_RestoreSnapshot() {
+	agent := rl.NewAgent(rl.DefaultAgentConfig(2, 2))
+	agent.Observe(0, 1, 5, 1)
+	for agent.Phase() == rl.Exploration {
+		agent.EndEpoch() // snapshot captured when exploration ends
+	}
+	agent.Observe(0, 1, -100, 1) // later drift
+	agent.RestoreSnapshot()      // intra-application variation
+	fmt.Printf("restored Q(0,1) > 0: %v\n", agent.Q().Get(0, 1) > 0)
+	agent.Relearn() // inter-application variation
+	fmt.Printf("after relearn Q(0,1) = %g, alpha = %g\n", agent.Q().Get(0, 1), agent.Alpha())
+	// Output:
+	// restored Q(0,1) > 0: true
+	// after relearn Q(0,1) = 0, alpha = 1
+}

@@ -1,0 +1,94 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// tableJSON is the serialized form of a QTable.
+type tableJSON struct {
+	States  int       `json:"states"`
+	Actions int       `json:"actions"`
+	Q       []float64 `json:"q"`
+}
+
+// MarshalJSON serializes the table with its dimensions.
+func (t *QTable) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{States: t.numStates, Actions: t.numActions, Q: t.q})
+}
+
+// UnmarshalJSON restores a table; dimensions come from the payload.
+func (t *QTable) UnmarshalJSON(data []byte) error {
+	var tj tableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return fmt.Errorf("rl: unmarshal q-table: %w", err)
+	}
+	if tj.States <= 0 || tj.Actions <= 0 {
+		return fmt.Errorf("rl: unmarshal q-table: invalid dimensions %dx%d", tj.States, tj.Actions)
+	}
+	if len(tj.Q) != tj.States*tj.Actions {
+		return fmt.Errorf("rl: unmarshal q-table: %d values for %dx%d table", len(tj.Q), tj.States, tj.Actions)
+	}
+	t.numStates = tj.States
+	t.numActions = tj.Actions
+	t.q = tj.Q
+	return nil
+}
+
+// agentJSON is the serialized learning state of an Agent.
+type agentJSON struct {
+	Alpha     float64 `json:"alpha"`
+	Epochs    int     `json:"epochs"`
+	SnapTaken bool    `json:"snapshot_taken"`
+	Q         *QTable `json:"q"`
+	Snapshot  *QTable `json:"snapshot,omitempty"`
+}
+
+// Save serializes the agent's learning state (live Q-table, exploration-end
+// snapshot, learning rate, epoch count) as JSON, so a deployment can persist
+// what it learned across restarts.
+func (a *Agent) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(agentJSON{
+		Alpha:     a.alpha,
+		Epochs:    a.epochs,
+		SnapTaken: a.snapTaken,
+		Q:         a.q,
+		Snapshot:  a.snap,
+	})
+}
+
+// Load restores learning state previously written by Save. The serialized
+// Q-table dimensions must match the agent's configuration.
+func (a *Agent) Load(r io.Reader) error {
+	var aj agentJSON
+	if err := json.NewDecoder(r).Decode(&aj); err != nil {
+		return fmt.Errorf("rl: load agent: %w", err)
+	}
+	if aj.Q == nil {
+		return fmt.Errorf("rl: load agent: missing q-table")
+	}
+	if aj.Q.numStates != a.cfg.NumStates || aj.Q.numActions != a.cfg.NumActions {
+		return fmt.Errorf("rl: load agent: table is %dx%d, agent configured for %dx%d",
+			aj.Q.numStates, aj.Q.numActions, a.cfg.NumStates, a.cfg.NumActions)
+	}
+	if aj.SnapTaken {
+		if aj.Snapshot == nil {
+			return fmt.Errorf("rl: load agent: snapshot flagged but missing")
+		}
+		if aj.Snapshot.numStates != a.cfg.NumStates || aj.Snapshot.numActions != a.cfg.NumActions {
+			return fmt.Errorf("rl: load agent: snapshot dimension mismatch")
+		}
+	}
+	if aj.Alpha < 0 || aj.Alpha > 1 {
+		return fmt.Errorf("rl: load agent: alpha %g out of [0,1]", aj.Alpha)
+	}
+	a.q = aj.Q
+	a.snap = aj.Snapshot
+	a.snapTaken = aj.SnapTaken
+	a.alpha = aj.Alpha
+	a.epochs = aj.Epochs
+	return nil
+}

@@ -1,0 +1,108 @@
+package rl
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestQTableJSONRoundTrip(t *testing.T) {
+	q := NewQTable(3, 4)
+	q.Set(0, 0, 1.5)
+	q.Set(2, 3, -7.25)
+	data, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got QTable
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumStates() != 3 || got.NumActions() != 4 {
+		t.Fatalf("dimensions %dx%d", got.NumStates(), got.NumActions())
+	}
+	if got.Get(0, 0) != 1.5 || got.Get(2, 3) != -7.25 {
+		t.Error("values lost in round trip")
+	}
+}
+
+func TestQTableUnmarshalValidation(t *testing.T) {
+	cases := []string{
+		`{"states":0,"actions":4,"q":[]}`,
+		`{"states":2,"actions":2,"q":[1,2,3]}`, // wrong length
+		`{"states":-1,"actions":2,"q":[]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		var q QTable
+		if err := json.Unmarshal([]byte(c), &q); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestAgentSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultAgentConfig(4, 5)
+	a := NewAgent(cfg)
+	// Build some state: learn, pass the snapshot point, learn more.
+	for i := 0; i < 12; i++ {
+		a.Observe(i%4, i%5, float64(i)/3-1, (i+1)%4)
+		a.EndEpoch()
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewAgent(cfg)
+	if err := b.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if b.Alpha() != a.Alpha() {
+		t.Errorf("alpha %g != %g", b.Alpha(), a.Alpha())
+	}
+	if b.Epochs() != a.Epochs() {
+		t.Errorf("epochs %d != %d", b.Epochs(), a.Epochs())
+	}
+	for s := 0; s < 4; s++ {
+		for act := 0; act < 5; act++ {
+			if b.Q().Get(s, act) != a.Q().Get(s, act) {
+				t.Fatalf("Q(%d,%d) mismatch", s, act)
+			}
+		}
+	}
+	// The restored snapshot must behave identically.
+	a.RestoreSnapshot()
+	b.RestoreSnapshot()
+	for s := 0; s < 4; s++ {
+		for act := 0; act < 5; act++ {
+			if b.Q().Get(s, act) != a.Q().Get(s, act) {
+				t.Fatalf("post-restore Q(%d,%d) mismatch", s, act)
+			}
+		}
+	}
+}
+
+func TestAgentLoadValidation(t *testing.T) {
+	a := NewAgent(DefaultAgentConfig(2, 2))
+	cases := []string{
+		`{}`, // missing table
+		`{"alpha":0.5,"q":{"states":3,"actions":3,"q":[0,0,0,0,0,0,0,0,0]}}`,             // wrong dims
+		`{"alpha":2,"q":{"states":2,"actions":2,"q":[0,0,0,0]}}`,                         // bad alpha
+		`{"alpha":0.5,"snapshot_taken":true,"q":{"states":2,"actions":2,"q":[0,0,0,0]}}`, // missing snapshot
+		`garbage`,
+	}
+	for _, c := range cases {
+		if err := a.Load(strings.NewReader(c)); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+	// A failed load must not corrupt the agent.
+	a.Observe(0, 0, 1, 1)
+	v := a.Q().Get(0, 0)
+	_ = a.Load(strings.NewReader(`{}`))
+	if a.Q().Get(0, 0) != v {
+		t.Error("failed load corrupted the agent")
+	}
+}

@@ -1,0 +1,378 @@
+package rl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewQTableValidation(t *testing.T) {
+	for _, dims := range [][2]int{{0, 4}, {4, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for dims %v", dims)
+				}
+			}()
+			NewQTable(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestQTableGetSet(t *testing.T) {
+	q := NewQTable(3, 4)
+	if q.NumStates() != 3 || q.NumActions() != 4 {
+		t.Fatal("dimension accessors wrong")
+	}
+	q.Set(2, 3, 1.5)
+	q.Set(0, 0, -2)
+	if q.Get(2, 3) != 1.5 || q.Get(0, 0) != -2 {
+		t.Error("Get/Set roundtrip failed")
+	}
+	if q.Get(1, 1) != 0 {
+		t.Error("fresh entries must be zero")
+	}
+}
+
+func TestMaxQAndBestAction(t *testing.T) {
+	q := NewQTable(2, 3)
+	q.Set(0, 0, 1)
+	q.Set(0, 1, 5)
+	q.Set(0, 2, 3)
+	if q.MaxQ(0) != 5 {
+		t.Errorf("MaxQ = %g, want 5", q.MaxQ(0))
+	}
+	if q.BestAction(0) != 1 {
+		t.Errorf("BestAction = %d, want 1", q.BestAction(0))
+	}
+	// Ties break to lowest index.
+	if q.BestAction(1) != 0 {
+		t.Errorf("all-zero BestAction = %d, want 0", q.BestAction(1))
+	}
+}
+
+func TestUpdateEquation(t *testing.T) {
+	q := NewQTable(2, 2)
+	q.Set(0, 0, 1.0)
+	q.Set(1, 0, 4.0)
+	q.Set(1, 1, 2.0)
+	// Q(0,0) += alpha*(r + gamma*max(Q(1,.)) - Q(0,0))
+	//        = 1 + 0.5*(2 + 0.9*4 - 1) = 1 + 0.5*4.6 = 3.3
+	q.Update(0, 0, 2.0, 0.5, 0.9, 1)
+	if math.Abs(q.Get(0, 0)-3.3) > 1e-12 {
+		t.Errorf("Update result = %g, want 3.3", q.Get(0, 0))
+	}
+}
+
+func TestUpdateFixedPoint(t *testing.T) {
+	// Repeated updates with a constant reward converge to r/(1-gamma) for a
+	// self-loop.
+	q := NewQTable(1, 1)
+	for i := 0; i < 2000; i++ {
+		q.Update(0, 0, 1.0, 0.2, 0.5, 0)
+	}
+	want := 1.0 / (1 - 0.5)
+	if math.Abs(q.Get(0, 0)-want) > 1e-6 {
+		t.Errorf("fixed point = %g, want %g", q.Get(0, 0), want)
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	q := NewQTable(2, 2)
+	q.Set(1, 1, 7)
+	c := q.Clone()
+	q.Set(1, 1, 0)
+	if c.Get(1, 1) != 7 {
+		t.Error("Clone must be a deep copy")
+	}
+	q.CopyFrom(c)
+	if q.Get(1, 1) != 7 {
+		t.Error("CopyFrom failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for dimension mismatch")
+		}
+	}()
+	q.CopyFrom(NewQTable(3, 3))
+}
+
+func TestReset(t *testing.T) {
+	q := NewQTable(2, 2)
+	q.Set(0, 1, 9)
+	q.Reset()
+	for s := 0; s < 2; s++ {
+		for a := 0; a < 2; a++ {
+			if q.Get(s, a) != 0 {
+				t.Errorf("Q(%d,%d) = %g after reset", s, a, q.Get(s, a))
+			}
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if Exploration.String() != "exploration" ||
+		ExplorationExploitation.String() != "exploration-exploitation" ||
+		Exploitation.String() != "exploitation" {
+		t.Error("phase strings wrong")
+	}
+	if Phase(9).String() != "Phase(9)" {
+		t.Error("unknown phase string wrong")
+	}
+}
+
+func TestAgentPhaseProgression(t *testing.T) {
+	cfg := DefaultAgentConfig(4, 4)
+	a := NewAgent(cfg)
+	if a.Phase() != Exploration {
+		t.Fatalf("fresh agent phase = %v, want exploration", a.Phase())
+	}
+	seen := map[Phase]bool{a.Phase(): true}
+	for i := 0; i < 200; i++ {
+		a.EndEpoch()
+		seen[a.Phase()] = true
+	}
+	for _, p := range []Phase{Exploration, ExplorationExploitation, Exploitation} {
+		if !seen[p] {
+			t.Errorf("phase %v never reached", p)
+		}
+	}
+	if !a.Converged() {
+		t.Error("agent should have converged")
+	}
+	if a.Epochs() != 200 {
+		t.Errorf("Epochs = %d, want 200", a.Epochs())
+	}
+}
+
+func TestAgentAlphaDecays(t *testing.T) {
+	a := NewAgent(DefaultAgentConfig(2, 2))
+	prev := a.Alpha()
+	for i := 0; i < 50; i++ {
+		a.EndEpoch()
+		if a.Alpha() >= prev {
+			t.Fatal("alpha must strictly decay")
+		}
+		prev = a.Alpha()
+	}
+}
+
+func TestAgentSelectActionExploresAndExploits(t *testing.T) {
+	cfg := DefaultAgentConfig(1, 4)
+	a := NewAgent(cfg)
+	a.Q().Set(0, 2, 10) // best action is 2
+	// Fresh agent (alpha=1): all selections random -> all actions seen.
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[a.SelectAction(0)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("exploration should visit all actions, saw %v", seen)
+	}
+	// Converged agent: always greedy.
+	for !a.Converged() {
+		a.EndEpoch()
+	}
+	// alpha is tiny but nonzero; over a few draws greedy dominates.
+	greedy := 0
+	for i := 0; i < 100; i++ {
+		if a.SelectAction(0) == 2 {
+			greedy++
+		}
+	}
+	if greedy < 90 {
+		t.Errorf("converged agent picked best action only %d/100 times", greedy)
+	}
+}
+
+func TestAgentObserve(t *testing.T) {
+	a := NewAgent(DefaultAgentConfig(2, 2))
+	a.Observe(0, 1, 5, 1)
+	if a.Q().Get(0, 1) == 0 {
+		t.Error("Observe should have updated the table")
+	}
+}
+
+func TestAgentRelearn(t *testing.T) {
+	a := NewAgent(DefaultAgentConfig(2, 2))
+	a.Observe(0, 0, 5, 1)
+	for i := 0; i < 30; i++ {
+		a.EndEpoch()
+	}
+	a.Relearn()
+	if a.Alpha() != 1 {
+		t.Errorf("alpha after relearn = %g, want 1", a.Alpha())
+	}
+	if a.Q().Get(0, 0) != 0 {
+		t.Error("Q-table should be zeroed after relearn")
+	}
+	if a.Relearns() != 1 {
+		t.Errorf("Relearns = %d, want 1", a.Relearns())
+	}
+	if a.Phase() != Exploration {
+		t.Error("relearn must restart exploration")
+	}
+}
+
+func TestAgentSnapshotRestore(t *testing.T) {
+	cfg := DefaultAgentConfig(2, 2)
+	a := NewAgent(cfg)
+	// Learn something during exploration.
+	a.Observe(0, 0, 10, 1)
+	snapVal := a.Q().Get(0, 0)
+	// Decay past the exploration threshold -> snapshot taken.
+	for a.Phase() == Exploration {
+		a.EndEpoch()
+	}
+	// Keep learning afterwards; live table drifts from the snapshot.
+	a.Observe(0, 0, -50, 1)
+	if a.Q().Get(0, 0) == snapVal {
+		t.Fatal("live table should have drifted")
+	}
+	a.RestoreSnapshot()
+	if got := a.Q().Get(0, 0); math.Abs(got-snapVal) > 1e-9 {
+		t.Errorf("restored Q = %g, want snapshot value %g", got, snapVal)
+	}
+	if a.Alpha() != cfg.AlphaExp {
+		t.Errorf("alpha after restore = %g, want %g", a.Alpha(), cfg.AlphaExp)
+	}
+	if a.Restores() != 1 {
+		t.Errorf("Restores = %d, want 1", a.Restores())
+	}
+}
+
+func TestAgentRestoreWithoutSnapshot(t *testing.T) {
+	a := NewAgent(DefaultAgentConfig(2, 2))
+	a.Observe(0, 0, 3, 0)
+	v := a.Q().Get(0, 0)
+	a.RestoreSnapshot() // no snapshot yet: Q untouched, alpha bumped
+	if a.Q().Get(0, 0) != v {
+		t.Error("restore without snapshot must not clobber the table")
+	}
+}
+
+func TestEpochsToConvergeGrowsWithThreshold(t *testing.T) {
+	a := DefaultAgentConfig(2, 2)
+	b := a
+	b.AlphaDecay = 0.99 // slower decay -> more epochs
+	if b.EpochsToConverge() <= a.EpochsToConverge() {
+		t.Error("slower decay must require more epochs")
+	}
+	if a.EpochsToConverge() <= 0 {
+		t.Error("default config must require at least one epoch")
+	}
+}
+
+// Property: SelectAction always returns a valid action index.
+func TestSelectActionInRange(t *testing.T) {
+	a := NewAgent(DefaultAgentConfig(5, 7))
+	f := func(s uint8, decays uint8) bool {
+		for i := 0; i < int(decays%16); i++ {
+			a.EndEpoch()
+		}
+		act := a.SelectAction(int(s) % 5)
+		return act >= 0 && act < 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A classic sanity check: the agent learns a trivial MDP where action 1 is
+// always better, and ends up preferring it everywhere.
+func TestAgentLearnsTrivialMDP(t *testing.T) {
+	cfg := DefaultAgentConfig(3, 2)
+	cfg.AlphaDecay = 0.995 // learn long enough
+	a := NewAgent(cfg)
+	state := 0
+	for i := 0; i < 3000; i++ {
+		act := a.SelectAction(state)
+		reward := -1.0
+		if act == 1 {
+			reward = 1.0
+		}
+		next := (state + 1) % 3
+		a.Observe(state, act, reward, next)
+		a.EndEpoch()
+		state = next
+	}
+	for s := 0; s < 3; s++ {
+		if a.Q().BestAction(s) != 1 {
+			t.Errorf("state %d: best action = %d, want 1", s, a.Q().BestAction(s))
+		}
+	}
+}
+
+func BenchmarkQTableUpdate(b *testing.B) {
+	q := NewQTable(12, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Update(i%12, i%12, 0.5, 0.1, 0.8, (i+1)%12)
+	}
+}
+
+func BenchmarkAgentSelectAction(b *testing.B) {
+	a := NewAgent(DefaultAgentConfig(12, 12))
+	for i := 0; i < 30; i++ {
+		a.EndEpoch()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SelectActionSticky(i%12, (i+1)%12)
+	}
+}
+
+func TestUpdateSARSAEquation(t *testing.T) {
+	q := NewQTable(2, 2)
+	q.Set(0, 0, 1.0)
+	q.Set(1, 0, 4.0)
+	q.Set(1, 1, 2.0)
+	// SARSA bootstraps from the selected next action (1), not the max (0):
+	// Q(0,0) += 0.5*(2 + 0.9*Q(1,1) - 1) = 1 + 0.5*(2 + 1.8 - 1) = 2.4
+	q.UpdateSARSA(0, 0, 2.0, 0.5, 0.9, 1, 1)
+	if math.Abs(q.Get(0, 0)-2.4) > 1e-12 {
+		t.Errorf("SARSA update = %g, want 2.4", q.Get(0, 0))
+	}
+}
+
+func TestSARSAVsQLearningDiffer(t *testing.T) {
+	qa, qb := NewQTable(2, 2), NewQTable(2, 2)
+	for _, q := range []*QTable{qa, qb} {
+		q.Set(1, 0, 4.0)
+		q.Set(1, 1, 2.0)
+	}
+	qa.Update(0, 0, 1, 0.5, 0.9, 1)         // bootstraps max = 4
+	qb.UpdateSARSA(0, 0, 1, 0.5, 0.9, 1, 1) // bootstraps Q(1,1) = 2
+	if qa.Get(0, 0) <= qb.Get(0, 0) {
+		t.Error("Q-learning should bootstrap optimistically vs SARSA here")
+	}
+}
+
+func TestAgentObserveSARSA(t *testing.T) {
+	a := NewAgent(DefaultAgentConfig(2, 2))
+	a.ObserveSARSA(0, 1, 5, 1, 0)
+	if a.Q().Get(0, 1) == 0 {
+		t.Error("ObserveSARSA should have updated the table")
+	}
+}
+
+func TestAdoptTable(t *testing.T) {
+	a := NewAgent(DefaultAgentConfig(2, 2))
+	trained := NewQTable(2, 2)
+	trained.Set(1, 1, 9)
+	a.AdoptTable(trained, 0.05)
+	if a.Q().Get(1, 1) != 9 {
+		t.Error("AdoptTable did not copy the table")
+	}
+	if a.Alpha() != 0.05 {
+		t.Errorf("alpha = %g, want 0.05", a.Alpha())
+	}
+	if a.Adoptions() != 1 {
+		t.Errorf("Adoptions = %d, want 1", a.Adoptions())
+	}
+	// Adopted table is a copy: mutating the source must not leak.
+	trained.Set(1, 1, -5)
+	if a.Q().Get(1, 1) != 9 {
+		t.Error("AdoptTable must deep-copy")
+	}
+}

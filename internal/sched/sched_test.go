@@ -1,0 +1,443 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func burstThread(id int, work float64) *workload.Thread {
+	return workload.NewThread(id, "t", []workload.Phase{
+		{Kind: workload.Burst, Work: work, Activity: 0.9},
+	})
+}
+
+func quadFreqs(f float64) []float64 { return []float64{f, f, f, f} }
+
+func TestAffinityMask(t *testing.T) {
+	if AllCores(4) != 0b1111 {
+		t.Errorf("AllCores(4) = %b", AllCores(4))
+	}
+	m := AffinityMask(0b0101)
+	if !m.Allows(0) || m.Allows(1) || !m.Allows(2) || m.Allows(3) {
+		t.Error("Allows wrong for 0b0101")
+	}
+	if m.Count() != 2 {
+		t.Errorf("Count = %d, want 2", m.Count())
+	}
+	if m.String() != "{0,2}" {
+		t.Errorf("String = %q, want {0,2}", m.String())
+	}
+	var zero AffinityMask
+	if !zero.Allows(3) {
+		t.Error("zero mask must allow every core")
+	}
+	if zero.Count() != 0 {
+		t.Error("zero mask Count should be 0")
+	}
+	if zero.String() != "{*}" {
+		t.Errorf("zero mask String = %q", zero.String())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad core count")
+		}
+	}()
+	New(Config{NumCores: 0})
+}
+
+func TestSingleThreadProgress(t *testing.T) {
+	s := New(DefaultConfig())
+	th := burstThread(0, 10)
+	s.SetThreads([]*workload.Thread{th})
+	var total float64
+	for i := 0; i < 1000 && !th.Done(); i++ {
+		st := s.Tick(0.01, quadFreqs(2.0))
+		total += st.WorkDone
+	}
+	if !th.Done() {
+		t.Fatal("thread did not finish")
+	}
+	if math.Abs(total-10) > 1e-9 {
+		t.Errorf("work done = %g, want 10", total)
+	}
+	// A lone thread at 2 GHz does 10 units in 5 s = 500 ticks.
+	if got := th.CompletedWork(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("completed = %g", got)
+	}
+}
+
+func TestExecutionTimeScalesWithFrequency(t *testing.T) {
+	run := func(f float64) int {
+		s := New(DefaultConfig())
+		th := burstThread(0, 10)
+		s.SetThreads([]*workload.Thread{th})
+		ticks := 0
+		for !th.Done() {
+			s.Tick(0.01, quadFreqs(f))
+			ticks++
+			if ticks > 100000 {
+				t.Fatal("did not finish")
+			}
+		}
+		return ticks
+	}
+	slow := run(1.6)
+	fast := run(3.4)
+	ratio := float64(slow) / float64(fast)
+	if math.Abs(ratio-3.4/1.6) > 0.05 {
+		t.Errorf("time ratio = %.3f, want %.3f", ratio, 3.4/1.6)
+	}
+}
+
+func TestTimesharingSplitsCore(t *testing.T) {
+	// Two threads pinned to the same core make half progress each.
+	s := New(DefaultConfig())
+	a, b := burstThread(0, 100), burstThread(1, 100)
+	s.SetThreads([]*workload.Thread{a, b})
+	if err := s.SetAffinity(0, 1<<0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAffinity(1, 1<<0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Tick(0.01, quadFreqs(2.0))
+	}
+	// 1 second at 2 GHz shared two ways: ~1 unit each.
+	if math.Abs(a.CompletedWork()-1) > 0.1 || math.Abs(b.CompletedWork()-1) > 0.1 {
+		t.Errorf("work = %g, %g; want ~1 each", a.CompletedWork(), b.CompletedWork())
+	}
+}
+
+func TestSetAffinityValidation(t *testing.T) {
+	s := New(DefaultConfig())
+	s.SetThreads([]*workload.Thread{burstThread(0, 1)})
+	if err := s.SetAffinity(5, 1); err == nil {
+		t.Error("expected error for out-of-range thread")
+	}
+	if err := s.SetAffinity(-1, 1); err == nil {
+		t.Error("expected error for negative index")
+	}
+	// Mask allowing only core 7 on a 4-core machine.
+	if err := s.SetAffinity(0, 1<<7); err == nil {
+		t.Error("expected error for mask outside core range")
+	}
+}
+
+func TestAffinityForcesImmediateMigration(t *testing.T) {
+	s := New(DefaultConfig())
+	th := burstThread(0, 1000)
+	s.SetThreads([]*workload.Thread{th})
+	s.Tick(0.01, quadFreqs(2.0)) // places the thread somewhere
+	cur := s.Placement(0)
+	target := (cur + 1) % 4
+	if err := s.SetAffinity(0, 1<<uint(target)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Placement(0) != target {
+		t.Errorf("placement = %d, want %d after affinity change", s.Placement(0), target)
+	}
+	if s.Migrations() != 1 {
+		t.Errorf("migrations = %d, want 1", s.Migrations())
+	}
+}
+
+func TestMigrationStallCostsWork(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MigrationStall = 0.5
+	run := func(migrate bool) float64 {
+		s := New(cfg)
+		th := burstThread(0, 1000)
+		s.SetThreads([]*workload.Thread{th})
+		s.Tick(0.01, quadFreqs(2.0))
+		if migrate {
+			target := (s.Placement(0) + 1) % 4
+			if err := s.SetAffinity(0, 1<<uint(target)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			s.Tick(0.01, quadFreqs(2.0))
+		}
+		return th.CompletedWork()
+	}
+	if moved, stayed := run(true), run(false); moved >= stayed {
+		t.Errorf("migrated thread did %g work, unmigrated %g; stall should cost", moved, stayed)
+	}
+}
+
+func TestLoadBalancerSpreadsThreads(t *testing.T) {
+	s := New(DefaultConfig())
+	threads := make([]*workload.Thread, 6)
+	ws := make([]*workload.Thread, 6)
+	for i := range threads {
+		threads[i] = burstThread(i, 1e6)
+		ws[i] = threads[i]
+	}
+	s.SetThreads(ws)
+	for i := 0; i < 200; i++ {
+		s.Tick(0.01, quadFreqs(2.0))
+	}
+	// 6 runnable threads on 4 cores must end up 2/2/1/1.
+	counts := make([]int, 4)
+	for i := range threads {
+		counts[s.Placement(i)]++
+	}
+	for c, n := range counts {
+		if n == 0 {
+			t.Errorf("core %d has no threads: %v", c, counts)
+		}
+		if n > 2 {
+			t.Errorf("core %d overloaded with %d threads: %v", c, n, counts)
+		}
+	}
+}
+
+func TestBalancerHonorsPinning(t *testing.T) {
+	s := New(DefaultConfig())
+	threads := make([]*workload.Thread, 4)
+	for i := range threads {
+		threads[i] = burstThread(i, 1e6)
+	}
+	s.SetThreads(threads)
+	// Pin all four threads onto core 0: balancer must never move them.
+	for i := range threads {
+		if err := s.SetAffinity(i, 1<<0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		s.Tick(0.01, quadFreqs(2.0))
+	}
+	for i := range threads {
+		if s.Placement(i) != 0 {
+			t.Errorf("thread %d moved to core %d despite pin", i, s.Placement(i))
+		}
+	}
+}
+
+func TestBalancerMovesWithinWideMask(t *testing.T) {
+	s := New(DefaultConfig())
+	threads := make([]*workload.Thread, 3)
+	for i := range threads {
+		threads[i] = burstThread(i, 1e6)
+	}
+	s.SetThreads(threads)
+	// Allow cores 0 and 1; start all on core 0.
+	for i := range threads {
+		if err := s.SetAffinity(i, 0b0011); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force initial placement onto core 0 by pinning then widening.
+	for i := range threads {
+		if err := s.SetAffinity(i, 1<<0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range threads {
+		if err := s.SetAffinity(i, 0b0011); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		s.Tick(0.01, quadFreqs(2.0))
+	}
+	counts := make([]int, 4)
+	for i := range threads {
+		counts[s.Placement(i)]++
+	}
+	if counts[0] == 3 {
+		t.Error("balancer never moved a thread within its allowed mask")
+	}
+	if counts[2] != 0 || counts[3] != 0 {
+		t.Errorf("threads escaped their mask: %v", counts)
+	}
+}
+
+func TestCoreActivityReflectsThreads(t *testing.T) {
+	s := New(DefaultConfig())
+	th := burstThread(0, 1e6)
+	s.SetThreads([]*workload.Thread{th})
+	if err := s.SetAffinity(0, 1<<2); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Tick(0.01, quadFreqs(2.0))
+	if st.CoreBusy[2] != 1 {
+		t.Error("core 2 should be busy")
+	}
+	if st.CoreActivity[2] != 0.9 {
+		t.Errorf("core 2 activity = %g, want 0.9", st.CoreActivity[2])
+	}
+	for _, c := range []int{0, 1, 3} {
+		if st.CoreBusy[c] != 0 || st.CoreActivity[c] != 0 {
+			t.Errorf("core %d should be idle", c)
+		}
+	}
+}
+
+func TestBlockedThreadsLeaveCoresIdle(t *testing.T) {
+	// A thread that hits its barrier stops consuming CPU.
+	th := workload.NewThread(0, "t", []workload.Phase{
+		{Kind: workload.Sync, Work: 0.1, Activity: 0.5},
+		{Kind: workload.Burst, Work: 100, Activity: 0.9},
+	})
+	s := New(DefaultConfig())
+	s.SetThreads([]*workload.Thread{th})
+	for i := 0; i < 50; i++ {
+		s.Tick(0.01, quadFreqs(2.0))
+	}
+	if !th.AtBarrier() {
+		t.Fatal("thread should be at barrier")
+	}
+	st := s.Tick(0.01, quadFreqs(2.0))
+	for c := range st.CoreBusy {
+		if st.CoreBusy[c] != 0 {
+			t.Errorf("core %d busy while only thread is blocked", c)
+		}
+	}
+}
+
+func TestTickPanicsOnBadFreqLength(t *testing.T) {
+	s := New(DefaultConfig())
+	s.SetThreads(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong frequency vector length")
+		}
+	}()
+	s.Tick(0.01, []float64{1})
+}
+
+func TestClearAffinities(t *testing.T) {
+	s := New(DefaultConfig())
+	s.SetThreads([]*workload.Thread{burstThread(0, 1)})
+	if err := s.SetAffinity(0, 1<<1); err != nil {
+		t.Fatal(err)
+	}
+	s.ClearAffinities()
+	if s.Affinity(0) != 0 {
+		t.Error("ClearAffinities did not reset mask")
+	}
+}
+
+// Property: total work done in a tick never exceeds sum of core capacities.
+func TestWorkBoundedByCapacity(t *testing.T) {
+	f := func(seed int64, nThreads uint8) bool {
+		n := int(nThreads%8) + 1
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		s := New(cfg)
+		threads := make([]*workload.Thread, n)
+		for i := range threads {
+			threads[i] = burstThread(i, 1e6)
+		}
+		s.SetThreads(threads)
+		for i := 0; i < 20; i++ {
+			st := s.Tick(0.01, quadFreqs(3.4))
+			if st.WorkDone > 4*3.4*0.01+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeterogeneousCoreSpeed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CoreSpeed = []float64{2.0, 1.0, 1.0, 1.0}
+	s := New(cfg)
+	if s.CoreSpeed(0) != 2.0 || s.CoreSpeed(1) != 1.0 {
+		t.Fatal("core speeds not resolved")
+	}
+	// Two identical threads pinned to a fast and a slow core: the fast one
+	// finishes in half the time.
+	fast, slow := burstThread(0, 10), burstThread(1, 10)
+	s.SetThreads([]*workload.Thread{fast, slow})
+	if err := s.SetAffinity(0, 1<<0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAffinity(1, 1<<1); err != nil {
+		t.Fatal(err)
+	}
+	ticksFast, ticksSlow := 0, 0
+	for i := 0; i < 10000 && (!fast.Done() || !slow.Done()); i++ {
+		s.Tick(0.01, quadFreqs(2.0))
+		if !fast.Done() {
+			ticksFast++
+		}
+		if !slow.Done() {
+			ticksSlow++
+		}
+	}
+	ratio := float64(ticksSlow) / float64(ticksFast)
+	if math.Abs(ratio-2.0) > 0.05 {
+		t.Errorf("slow/fast completion ratio = %.3f, want ~2", ratio)
+	}
+}
+
+func TestHeterogeneousCoreSpeedDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CoreSpeed = []float64{0, 1.5, 0, 0} // zeros mean 1.0
+	s := New(cfg)
+	if s.CoreSpeed(0) != 1.0 || s.CoreSpeed(1) != 1.5 {
+		t.Error("zero entries should default to 1.0")
+	}
+}
+
+func TestHeterogeneousCoreSpeedValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CoreSpeed = []float64{1, 2} // wrong length
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched CoreSpeed length")
+		}
+	}()
+	New(cfg)
+}
+
+func TestAddStall(t *testing.T) {
+	s := New(DefaultConfig())
+	th := burstThread(0, 100)
+	s.SetThreads([]*workload.Thread{th})
+	s.Tick(0.01, quadFreqs(2.0))
+	before := th.CompletedWork()
+	s.AddStall(0, 0.5)
+	s.AddStall(99, 1)         // out of range: ignored
+	s.AddStall(0, -1)         // negative: ignored
+	for i := 0; i < 40; i++ { // 0.4 s, inside the stall window
+		s.Tick(0.01, quadFreqs(2.0))
+	}
+	if th.CompletedWork() != before {
+		t.Errorf("thread progressed %g during stall", th.CompletedWork()-before)
+	}
+	for i := 0; i < 30; i++ { // past the stall
+		s.Tick(0.01, quadFreqs(2.0))
+	}
+	if th.CompletedWork() <= before {
+		t.Error("thread never resumed after stall")
+	}
+}
+
+func BenchmarkSchedulerTick(b *testing.B) {
+	s := New(DefaultConfig())
+	threads := make([]*workload.Thread, 6)
+	for i := range threads {
+		threads[i] = burstThread(i, 1e12)
+	}
+	s.SetThreads(threads)
+	f := quadFreqs(3.4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tick(0.01, f)
+	}
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// FixedAffinityPolicy pins thread i to core Slots[i % len(Slots)] and runs a
+// plain governor — the "user thread assignment" of the paper's motivational
+// experiment (Fig. 1). Affinities are re-applied whenever the workload
+// switches applications.
+type FixedAffinityPolicy struct {
+	// Slots maps thread slots to cores.
+	Slots []int
+	// Kind and Level select the governor (Level only for userspace).
+	Kind  governor.Kind
+	Level int
+
+	lastSwitches int
+}
+
+// Name returns e.g. "pinned[0 0 1 1 2 3]-ondemand".
+func (f *FixedAffinityPolicy) Name() string {
+	return fmt.Sprintf("pinned%v-%s", f.Slots, f.Kind)
+}
+
+// Attach applies the affinity masks and governor.
+func (f *FixedAffinityPolicy) Attach(p *platform.Platform) error {
+	if len(f.Slots) == 0 {
+		return fmt.Errorf("sim: fixed affinity policy needs slots")
+	}
+	p.SetGovernorAll(f.Kind, f.Level)
+	f.lastSwitches = p.AppSwitches()
+	return f.apply(p)
+}
+
+func (f *FixedAffinityPolicy) apply(p *platform.Platform) error {
+	for i := range p.Workload().Threads() {
+		core := f.Slots[i%len(f.Slots)]
+		if err := p.SetAffinity(i, sched.AffinityMask(1)<<uint(core)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tick re-applies the masks after an application switch (new thread set).
+func (f *FixedAffinityPolicy) Tick(p *platform.Platform) {
+	if n := p.AppSwitches(); n != f.lastSwitches {
+		f.lastSwitches = n
+		if err := f.apply(p); err != nil {
+			panic(err) // slots were validated at Attach
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package sim runs a policy (Linux governor, the Ge & Qiu baseline, or the
+// proposed RL controller) on the simulated platform until the workload
+// completes, and derives the ground-truth metrics the paper reports:
+// average/peak temperature, thermal-cycling MTTF, aging MTTF, execution
+// time, energy and perf counters.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+	"repro/internal/reliability"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Policy is a thermal-management policy driving a platform.
+type Policy interface {
+	// Name identifies the policy in result tables.
+	Name() string
+	// Attach configures the policy on a fresh platform before the run.
+	Attach(p *platform.Platform) error
+	// Tick is invoked once after every platform step.
+	Tick(p *platform.Platform)
+}
+
+// RunConfig parameterizes a simulation run.
+type RunConfig struct {
+	// Platform configures the machine.
+	Platform platform.Config
+	// RecordIntervalS is the oracle trace sampling interval used for
+	// ground-truth reliability metrics. It must stay well below the
+	// workloads' iteration periods to avoid aliasing away thermal cycles
+	// (the effect Fig. 6 shows for coarse sampling); the default is 0.25 s.
+	RecordIntervalS float64
+	// MaxSimS aborts runaway runs (safety net), seconds.
+	MaxSimS float64
+	// WarmupSkipS excludes the initial cold-start ramp from the thermal
+	// metrics (the paper measures on an already-warm machine; without this
+	// the single ambient-to-operating ramp would be rainflow-counted as one
+	// giant cycle and dominate the fatigue stress of every policy alike).
+	WarmupSkipS float64
+	// Cycling and Aging are the reliability constants for ground-truth
+	// MTTF computation.
+	Cycling reliability.CyclingParams
+	Aging   reliability.AgingParams
+}
+
+// DefaultRunConfig returns the standard configuration.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Platform:        platform.DefaultConfig(),
+		RecordIntervalS: 0.25,
+		MaxSimS:         20000,
+		WarmupSkipS:     45,
+		Cycling:         reliability.DefaultCyclingParams(),
+		Aging:           reliability.DefaultAgingParams(),
+	}
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Policy and Workload name the run.
+	Policy, Workload string
+	// ExecTimeS is the workload completion time, seconds.
+	ExecTimeS float64
+	// Trace is the oracle per-core temperature trace.
+	Trace *trace.MultiTrace
+	// PowerTrace is the per-core total power (dynamic + leakage) sampled at
+	// the same interval, for power-profile analysis.
+	PowerTrace *trace.MultiTrace
+	// AvgTempC and PeakTempC summarize the trace.
+	AvgTempC, PeakTempC float64
+	// CyclingMTTF and AgingMTTF are the chip MTTFs in years (worst core).
+	CyclingMTTF, AgingMTTF float64
+	// CombinedMTTF merges both wear-out mechanisms under the
+	// sum-of-failure-rates model (Section 4.1), years.
+	CombinedMTTF float64
+	// DynamicEnergyJ and StaticEnergyJ are the metered energies.
+	DynamicEnergyJ, StaticEnergyJ float64
+	// AvgDynPowerW is the average dynamic power over the run.
+	AvgDynPowerW float64
+	// CacheMisses and PageFaults are the accumulated perf counters.
+	CacheMisses, PageFaults int64
+	// Migrations counts thread migrations.
+	Migrations int64
+	// AppSwitches counts application switches observed by the platform.
+	AppSwitches int
+}
+
+// Run executes the workload under the policy until completion (or MaxSimS)
+// and returns the collected metrics.
+func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) {
+	if cfg.RecordIntervalS <= 0 {
+		return nil, fmt.Errorf("sim: RecordIntervalS must be positive, got %g", cfg.RecordIntervalS)
+	}
+	p := platform.New(cfg.Platform, work)
+	if err := policy.Attach(p); err != nil {
+		return nil, fmt.Errorf("sim: attach %s: %w", policy.Name(), err)
+	}
+	mt := trace.NewMultiTrace(p.NumCores(), cfg.RecordIntervalS)
+	pt := trace.NewMultiTrace(p.NumCores(), cfg.RecordIntervalS)
+	nextRecord := 0.0
+	for !p.Done() {
+		if p.Now() >= cfg.MaxSimS {
+			return nil, fmt.Errorf("sim: %s on %s exceeded max sim time %g s (completed %.1f%% of work)",
+				policy.Name(), work.Name(), cfg.MaxSimS, 100*work.CompletedWork()/work.TotalWork())
+		}
+		if p.Now()+1e-9 >= nextRecord {
+			mt.Append(p.Temperatures())
+			pt.Append(p.CorePower())
+			nextRecord += cfg.RecordIntervalS
+		}
+		p.Step()
+		policy.Tick(p)
+	}
+	return collect(cfg, p, mt, pt, policy.Name(), work.Name()), nil
+}
+
+func collect(cfg RunConfig, p *platform.Platform, mt, pt *trace.MultiTrace, policy, wl string) *Result {
+	warm := trimWarmup(mt, cfg.WarmupSkipS)
+	res := &Result{
+		Policy:         policy,
+		Workload:       wl,
+		ExecTimeS:      p.Now(),
+		Trace:          mt,
+		PowerTrace:     pt,
+		AvgTempC:       warm.AverageTemperature(),
+		PeakTempC:      warm.PeakTemperature(),
+		DynamicEnergyJ: p.Meter().DynamicEnergy(),
+		StaticEnergyJ:  p.Meter().StaticEnergy(),
+		AvgDynPowerW:   p.Meter().AverageDynamicPower(),
+		CacheMisses:    p.PerfCounters().CacheMisses,
+		PageFaults:     p.PerfCounters().PageFaults,
+		Migrations:     p.Scheduler().Migrations(),
+		AppSwitches:    p.AppSwitches(),
+	}
+	res.CyclingMTTF, res.AgingMTTF = ChipMTTF(cfg, warm)
+	res.CombinedMTTF = reliability.CombinedMTTF(res.CyclingMTTF, res.AgingMTTF)
+	return res
+}
+
+// trimWarmup returns a view of the trace with the first skipS seconds
+// removed (or the original trace if too short to trim).
+func trimWarmup(mt *trace.MultiTrace, skipS float64) *trace.MultiTrace {
+	skip := int(skipS / mt.IntervalS)
+	if skip <= 0 || mt.Len() <= skip+10 {
+		return mt
+	}
+	out := &trace.MultiTrace{IntervalS: mt.IntervalS, Cores: make([]*trace.Series, len(mt.Cores))}
+	for i, s := range mt.Cores {
+		out.Cores[i] = &trace.Series{IntervalS: s.IntervalS, Values: s.Values[skip:]}
+	}
+	return out
+}
+
+// ChipMTTF computes the chip-level cycling and aging MTTFs (years) from an
+// oracle trace: the minimum over cores (the weakest core limits lifetime).
+func ChipMTTF(cfg RunConfig, mt *trace.MultiTrace) (cycling, aging float64) {
+	cycling, aging = math.Inf(1), math.Inf(1)
+	for _, s := range mt.Cores {
+		c := cfg.Cycling.CyclingMTTFFromSeries(s.Values, mt.IntervalS)
+		a := cfg.Aging.AgingMTTFFromSeries(s.Values)
+		if c < cycling {
+			cycling = c
+		}
+		if a < aging {
+			aging = a
+		}
+	}
+	return cycling, aging
+}

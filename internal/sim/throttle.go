@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// ThrottlePolicy is a reactive dynamic-thermal-management baseline of the
+// kind shipped in production firmware: when any core's temperature crosses
+// TripC the frequency is stepped down; when the hottest core cools below
+// TripC - HysteresisC it is stepped back up. It reacts to instantaneous
+// temperature only — no learning, no placement control — which makes it a
+// useful third comparator between Linux (no thermal management) and the
+// learning controllers.
+type ThrottlePolicy struct {
+	// TripC is the throttle trip point, degrees Celsius.
+	TripC float64
+	// HysteresisC is the release band below the trip point.
+	HysteresisC float64
+	// PollIntervalS is how often the policy samples the sensors.
+	PollIntervalS float64
+
+	level     int
+	maxLevel  int
+	nextPoll  float64
+	sensorBuf []float64
+	throttles int64
+}
+
+// DefaultThrottlePolicy returns a policy tripping at 65 C with a 5 C band,
+// polling at the sensor rate of 1 s.
+func DefaultThrottlePolicy() *ThrottlePolicy {
+	return &ThrottlePolicy{TripC: 65, HysteresisC: 5, PollIntervalS: 1}
+}
+
+// Name returns "reactive-throttle".
+func (*ThrottlePolicy) Name() string { return "reactive-throttle" }
+
+// Throttles returns how many downward frequency steps were taken.
+func (t *ThrottlePolicy) Throttles() int64 { return t.throttles }
+
+// Attach validates the configuration and starts at the highest level.
+func (t *ThrottlePolicy) Attach(p *platform.Platform) error {
+	if t.TripC <= 0 || t.HysteresisC < 0 || t.PollIntervalS <= 0 {
+		return fmt.Errorf("sim: throttle policy misconfigured: trip %g, hysteresis %g, poll %g",
+			t.TripC, t.HysteresisC, t.PollIntervalS)
+	}
+	t.maxLevel = len(p.Levels()) - 1
+	t.level = t.maxLevel
+	t.sensorBuf = make([]float64, p.NumCores())
+	t.nextPoll = t.PollIntervalS
+	for c := 0; c < p.NumCores(); c++ {
+		if err := p.SetCoreLevel(c, t.level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tick polls the sensors and steps the chip-wide frequency.
+func (t *ThrottlePolicy) Tick(p *platform.Platform) {
+	if p.Now()+1e-9 < t.nextPoll {
+		return
+	}
+	t.nextPoll += t.PollIntervalS
+	temps := p.ReadSensors(t.sensorBuf)
+	hottest := temps[0]
+	for _, v := range temps[1:] {
+		if v > hottest {
+			hottest = v
+		}
+	}
+	switch {
+	case hottest >= t.TripC && t.level > 0:
+		t.level--
+		t.throttles++
+	case hottest < t.TripC-t.HysteresisC && t.level < t.maxLevel:
+		t.level++
+	default:
+		return
+	}
+	for c := 0; c < p.NumCores(); c++ {
+		if err := p.SetCoreLevel(c, t.level); err != nil {
+			panic(err) // level is bounded by construction
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package thermal
+
+import "fmt"
+
+// FloorplanConfig parameterizes the quad-core floorplan. The defaults
+// (DefaultFloorplanConfig) are calibrated so that the simulated chip
+// reproduces the temperature ranges reported in the paper: idle cores settle
+// a few degrees above ambient, a fully loaded chip at the top frequency
+// reaches ~70 C core temperature, and the dominant core time constant is on
+// the order of one second so that thermal cycling is observable at the 1-10 s
+// sampling intervals the paper sweeps (Fig. 6).
+type FloorplanConfig struct {
+	// AmbientC is the ambient temperature in degrees Celsius.
+	AmbientC float64
+	// CoreCapacitance is the heat capacity of one core node (J/K).
+	CoreCapacitance float64
+	// SpreaderCapacitance is the heat capacity of the heat spreader (J/K).
+	SpreaderCapacitance float64
+	// SinkCapacitance is the heat capacity of the heat sink (J/K).
+	SinkCapacitance float64
+	// CoreToSpreader is the vertical conductance from each core to the
+	// spreader (W/K).
+	CoreToSpreader float64
+	// CoreToCore is the lateral conductance between adjacent cores (W/K).
+	CoreToCore float64
+	// SpreaderToSink is the conductance from spreader to sink (W/K).
+	SpreaderToSink float64
+	// SinkToAmbient is the convective conductance from sink to ambient (W/K).
+	SinkToAmbient float64
+}
+
+// DefaultFloorplanConfig returns the calibrated quad-core parameters.
+func DefaultFloorplanConfig() FloorplanConfig {
+	return FloorplanConfig{
+		AmbientC:            30.0,
+		CoreCapacitance:     0.6,
+		SpreaderCapacitance: 15.0,
+		SinkCapacitance:     40.0,
+		CoreToSpreader:      0.45,
+		CoreToCore:          0.5,
+		SpreaderToSink:      8.0,
+		SinkToAmbient:       1.45,
+	}
+}
+
+// Floorplan is a constructed thermal network together with the node indices
+// needed to inject power and read core temperatures.
+type Floorplan struct {
+	// Net is the underlying RC network.
+	Net *Network
+	// Cores holds the node indices of the cores, laid out row-major on a
+	// rows x cols grid.
+	Cores []int
+	// Spreader and Sink are the package node indices.
+	Spreader, Sink int
+}
+
+// NumCores returns the number of core nodes.
+func (f *Floorplan) NumCores() int { return len(f.Cores) }
+
+// QuadCoreFloorplan builds the 2x2-core + spreader + sink network used to
+// stand in for the paper's Intel quad-core platform.
+func QuadCoreFloorplan(cfg FloorplanConfig) *Floorplan {
+	return GridFloorplan(2, 2, cfg)
+}
+
+// GridFloorplan builds a rows x cols core grid over a shared spreader and
+// sink, generalizing the quad-core floorplan to manycore chips (the
+// scalability dimension the paper's related-work discussion highlights).
+// Adjacent cores (4-neighbourhood) are laterally coupled; every core has a
+// vertical path through the spreader and sink to ambient. The spreader and
+// sink capacitances and the spreader-to-sink / sink-to-ambient conductances
+// are scaled with the die area so per-core thermal behaviour stays
+// comparable across grid sizes.
+func GridFloorplan(rows, cols int, cfg FloorplanConfig) *Floorplan {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("thermal: grid floorplan needs positive dimensions, got %dx%d", rows, cols))
+	}
+	n := rows * cols
+	// Package scale relative to the reference 2x2 die.
+	scale := float64(n) / 4
+	net := NewNetwork(cfg.AmbientC)
+	fp := &Floorplan{Net: net, Cores: make([]int, n)}
+	for i := range fp.Cores {
+		fp.Cores[i] = net.MustAddNode(Node{
+			Name:        fmt.Sprintf("core%d", i),
+			Capacitance: cfg.CoreCapacitance,
+		})
+	}
+	fp.Spreader = net.MustAddNode(Node{
+		Name:        "spreader",
+		Capacitance: cfg.SpreaderCapacitance * scale,
+	})
+	fp.Sink = net.MustAddNode(Node{
+		Name:               "sink",
+		Capacitance:        cfg.SinkCapacitance * scale,
+		AmbientConductance: cfg.SinkToAmbient * scale,
+	})
+
+	// Vertical paths: core -> spreader -> sink -> ambient.
+	for _, c := range fp.Cores {
+		net.MustConnect(c, fp.Spreader, cfg.CoreToSpreader)
+	}
+	net.MustConnect(fp.Spreader, fp.Sink, cfg.SpreaderToSink*scale)
+
+	// Lateral coupling between grid neighbours.
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			if c+1 < cols {
+				net.MustConnect(fp.Cores[i], fp.Cores[i+1], cfg.CoreToCore)
+			}
+			if r+1 < rows {
+				net.MustConnect(fp.Cores[i], fp.Cores[i+cols], cfg.CoreToCore)
+			}
+		}
+	}
+	return fp
+}
+
+// PowerVector builds a full node-power vector from per-core power values.
+// Non-core nodes receive zero power. The returned slice has one entry per
+// network node.
+func (f *Floorplan) PowerVector(corePower []float64) []float64 {
+	p := make([]float64, f.Net.NumNodes())
+	f.FillPowerVector(p, corePower)
+	return p
+}
+
+// FillPowerVector is PowerVector without allocation; dst must have one entry
+// per network node and is zeroed first.
+func (f *Floorplan) FillPowerVector(dst, corePower []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, c := range f.Cores {
+		if i < len(corePower) {
+			dst[c] = corePower[i]
+		}
+	}
+}
+
+// CoreTemperatures extracts the four core temperatures from a full node
+// temperature vector into dst (which must have at least 4 entries).
+func (f *Floorplan) CoreTemperatures(dst, nodeTemps []float64) {
+	for i, c := range f.Cores {
+		dst[i] = nodeTemps[c]
+	}
+}

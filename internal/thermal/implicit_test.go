@@ -1,0 +1,189 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestImplicitMatchesAnalyticSingleNode(t *testing.T) {
+	const (
+		tamb = 25.0
+		c    = 2.0
+		g    = 0.5
+		p    = 4.0
+	)
+	n := singleNodeNet(tamb, c, g)
+	s := NewImplicitSolver(n)
+	elapsed := 0.0
+	for i := 0; i < 1000; i++ {
+		if err := s.Step(0.01, []float64{p}); err != nil {
+			t.Fatal(err)
+		}
+		elapsed += 0.01
+	}
+	want := tamb + (p/g)*(1-math.Exp(-elapsed*g/c))
+	if math.Abs(s.Temperature(0)-want) > 0.1 {
+		t.Errorf("T(%gs) = %.4f, want %.4f", elapsed, s.Temperature(0), want)
+	}
+}
+
+func TestImplicitMatchesExplicit(t *testing.T) {
+	fp1 := QuadCoreFloorplan(DefaultFloorplanConfig())
+	fp2 := QuadCoreFloorplan(DefaultFloorplanConfig())
+	ex := NewSolver(fp1.Net, Euler)
+	im := NewImplicitSolver(fp2.Net)
+	power := fp1.PowerVector([]float64{8, 2, 5, 1})
+	for i := 0; i < 2000; i++ {
+		if err := ex.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+		if err := im.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range ex.Temperatures() {
+		d := math.Abs(ex.Temperature(i) - im.Temperature(i))
+		if d > 0.2 {
+			t.Errorf("node %d: explicit %.3f vs implicit %.3f", i, ex.Temperature(i), im.Temperature(i))
+		}
+	}
+}
+
+// Backward Euler is unconditionally stable: a step far beyond the explicit
+// stability bound must still land at (approximately) the steady state
+// without oscillation or blow-up.
+func TestImplicitStableAtHugeSteps(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	power := fp.PowerVector([]float64{8, 8, 8, 8})
+	want, err := fp.Net.SteadyState(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewImplicitSolver(fp.Net)
+	// Step size 1000x the explicit bound; a handful of steps must converge.
+	h := fp.Net.MaxStableStep() * 1000
+	for i := 0; i < 50; i++ {
+		if err := s.Step(h, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range want {
+		if math.Abs(s.Temperature(i)-w) > 0.5 {
+			t.Errorf("node %d: %.2f, steady state %.2f", i, s.Temperature(i), w)
+		}
+		if math.IsNaN(s.Temperature(i)) || math.IsInf(s.Temperature(i), 0) {
+			t.Fatalf("node %d diverged", i)
+		}
+	}
+}
+
+func TestImplicitFactorizationReuse(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	s := NewImplicitSolver(fp.Net)
+	p := fp.PowerVector([]float64{5, 5, 5, 5})
+	if err := s.Step(0.01, p); err != nil {
+		t.Fatal(err)
+	}
+	f1 := s.fact
+	if err := s.Step(0.01, p); err != nil {
+		t.Fatal(err)
+	}
+	if s.fact != f1 {
+		t.Error("same step size should reuse the factorization")
+	}
+	if err := s.Step(0.02, p); err != nil {
+		t.Fatal(err)
+	}
+	if s.fact == f1 {
+		t.Error("changed step size should refactor")
+	}
+}
+
+func TestImplicitValidation(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	s := NewImplicitSolver(fp.Net)
+	if err := s.Step(0.01, []float64{1}); err == nil {
+		t.Error("expected power-length error")
+	}
+	if err := s.Step(0, make([]float64, fp.Net.NumNodes())); err == nil {
+		t.Error("expected dt error")
+	}
+	if err := s.SetTemperatures([]float64{1}); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestImplicitResetAndSet(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	s := NewImplicitSolver(fp.Net)
+	p := fp.PowerVector([]float64{9, 9, 9, 9})
+	for i := 0; i < 100; i++ {
+		if err := s.Step(0.1, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Temperature(0) <= fp.Net.Ambient() {
+		t.Fatal("no heating before reset")
+	}
+	s.Reset()
+	if s.Temperature(0) != fp.Net.Ambient() {
+		t.Error("Reset failed")
+	}
+	want := make([]float64, fp.Net.NumNodes())
+	for i := range want {
+		want[i] = 55
+	}
+	if err := s.SetTemperatures(want); err != nil {
+		t.Fatal(err)
+	}
+	if s.Temperature(3) != 55 {
+		t.Error("SetTemperatures failed")
+	}
+}
+
+// On a large stiff grid the implicit solver at coarse steps agrees with the
+// explicit solver at fine steps.
+func TestImplicitManycoreAgreement(t *testing.T) {
+	cfg := DefaultFloorplanConfig()
+	fp1 := GridFloorplan(4, 4, cfg)
+	fp2 := GridFloorplan(4, 4, cfg)
+	perCore := make([]float64, 16)
+	for i := range perCore {
+		perCore[i] = float64(i%5) + 2
+	}
+	power := fp1.PowerVector(perCore)
+
+	ex := NewSolver(fp1.Net, Euler)
+	for i := 0; i < 3000; i++ {
+		if err := ex.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	im := NewImplicitSolver(fp2.Net)
+	for i := 0; i < 300; i++ { // 10x coarser steps
+		if err := im.Step(0.1, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range ex.Temperatures() {
+		if d := math.Abs(ex.Temperature(i) - im.Temperature(i)); d > 0.6 {
+			t.Errorf("node %d: explicit %.2f vs implicit %.2f (d=%.2f)", i, ex.Temperature(i), im.Temperature(i), d)
+		}
+	}
+}
+
+func BenchmarkImplicitStep(b *testing.B) {
+	fp := GridFloorplan(4, 4, DefaultFloorplanConfig())
+	s := NewImplicitSolver(fp.Net)
+	perCore := make([]float64, 16)
+	for i := range perCore {
+		perCore[i] = 5
+	}
+	p := fp.PowerVector(perCore)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(0.1, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

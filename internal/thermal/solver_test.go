@@ -1,0 +1,237 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// singleNodeNet builds a one-node network with known analytic solution:
+// T(t) = Tamb + (P/G)(1 - e^{-t G/C}).
+func singleNodeNet(tamb, c, g float64) *Network {
+	n := NewNetwork(tamb)
+	n.MustAddNode(Node{Name: "n", Capacitance: c, AmbientConductance: g})
+	return n
+}
+
+func TestSolverMatchesAnalyticSingleNode(t *testing.T) {
+	const (
+		tamb = 25.0
+		c    = 2.0
+		g    = 0.5
+		p    = 4.0
+	)
+	for _, method := range []Method{Euler, RK4} {
+		n := singleNodeNet(tamb, c, g)
+		s := NewSolver(n, method)
+		elapsed := 0.0
+		for i := 0; i < 1000; i++ {
+			if err := s.Step(0.01, []float64{p}); err != nil {
+				t.Fatal(err)
+			}
+			elapsed += 0.01
+		}
+		want := tamb + (p/g)*(1-math.Exp(-elapsed*g/c))
+		got := s.Temperature(0)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("%v: T(%gs) = %.4f, want %.4f", method, elapsed, got, want)
+		}
+	}
+}
+
+func TestSolverConvergesToSteadyState(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	power := fp.PowerVector([]float64{8, 4, 2, 1})
+	want, err := fp.Net.SteadyState(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSolver(fp.Net, Euler)
+	// Run long enough for the sink (effective tau ~ 200 s) to settle; use a
+	// coarse step since we only care about the endpoint.
+	for i := 0; i < 3000; i++ {
+		if err := s.Step(0.5, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range want {
+		if math.Abs(s.Temperature(i)-w) > 0.1 {
+			t.Errorf("node %d: transient %.3f, steady state %.3f", i, s.Temperature(i), w)
+		}
+	}
+}
+
+func TestSolverEulerRK4Agree(t *testing.T) {
+	fp1 := QuadCoreFloorplan(DefaultFloorplanConfig())
+	fp2 := QuadCoreFloorplan(DefaultFloorplanConfig())
+	s1 := NewSolver(fp1.Net, Euler)
+	s2 := NewSolver(fp2.Net, RK4)
+	power := fp1.PowerVector([]float64{10, 0, 5, 0})
+	for i := 0; i < 2000; i++ {
+		if err := s1.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range s1.Temperatures() {
+		d := math.Abs(s1.Temperature(i) - s2.Temperature(i))
+		if d > 0.1 {
+			t.Errorf("node %d: euler %.4f vs rk4 %.4f (diff %.4f)", i, s1.Temperature(i), s2.Temperature(i), d)
+		}
+	}
+}
+
+func TestSolverReset(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	s := NewSolver(fp.Net, Euler)
+	power := fp.PowerVector([]float64{10, 10, 10, 10})
+	for i := 0; i < 100; i++ {
+		if err := s.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Temperature(fp.Cores[0]) <= fp.Net.Ambient() {
+		t.Fatal("expected heating before reset")
+	}
+	s.Reset()
+	for i := range s.Temperatures() {
+		if s.Temperature(i) != fp.Net.Ambient() {
+			t.Errorf("node %d after reset: %g, want ambient", i, s.Temperature(i))
+		}
+	}
+}
+
+func TestSolverSetTemperatures(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	s := NewSolver(fp.Net, Euler)
+	if err := s.SetTemperatures([]float64{1, 2}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	want := []float64{40, 41, 42, 43, 44, 45}
+	if err := s.SetTemperatures(want); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if s.Temperature(i) != w {
+			t.Errorf("node %d = %g, want %g", i, s.Temperature(i), w)
+		}
+	}
+}
+
+func TestSolverStepValidation(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	s := NewSolver(fp.Net, Euler)
+	if err := s.Step(0.01, []float64{1}); err == nil {
+		t.Error("expected power-length error")
+	}
+	p := make([]float64, fp.Net.NumNodes())
+	if err := s.Step(0, p); err == nil {
+		t.Error("expected dt error for dt=0")
+	}
+	if err := s.Step(-1, p); err == nil {
+		t.Error("expected dt error for dt<0")
+	}
+}
+
+// Heating is monotone under constant positive power from ambient start.
+func TestSolverMonotoneHeating(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	s := NewSolver(fp.Net, Euler)
+	power := fp.PowerVector([]float64{6, 6, 6, 6})
+	prev := s.Temperature(fp.Cores[0])
+	for i := 0; i < 500; i++ {
+		if err := s.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+		cur := s.Temperature(fp.Cores[0])
+		if cur < prev-1e-9 {
+			t.Fatalf("step %d: temperature decreased %.6f -> %.6f under constant power", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// Cooling after power removal returns toward ambient.
+func TestSolverCooling(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	s := NewSolver(fp.Net, Euler)
+	hot := fp.PowerVector([]float64{10, 10, 10, 10})
+	for i := 0; i < 3000; i++ {
+		if err := s.Step(0.01, hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peak := s.Temperature(fp.Cores[0])
+	zero := make([]float64, fp.Net.NumNodes())
+	for i := 0; i < 3000; i++ {
+		if err := s.Step(0.01, zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cooled := s.Temperature(fp.Cores[0])
+	if cooled >= peak {
+		t.Errorf("no cooling: peak %.2f, after cooldown %.2f", peak, cooled)
+	}
+	if cooled < fp.Net.Ambient()-1e-6 {
+		t.Errorf("cooled below ambient: %.2f < %.2f", cooled, fp.Net.Ambient())
+	}
+}
+
+// The hot core must be hotter than an idle neighbour (spatial gradient), and
+// the idle neighbour hotter than ambient (lateral coupling).
+func TestSolverSpatialGradient(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	s := NewSolver(fp.Net, Euler)
+	power := fp.PowerVector([]float64{12, 0, 0, 0})
+	for i := 0; i < 10000; i++ {
+		if err := s.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := s.Temperature(fp.Cores[0])
+	neighbour := s.Temperature(fp.Cores[1])
+	diagonal := s.Temperature(fp.Cores[3])
+	if !(hot > neighbour && neighbour > diagonal) {
+		t.Errorf("expected hot > neighbour > diagonal, got %.2f, %.2f, %.2f", hot, neighbour, diagonal)
+	}
+	if neighbour <= fp.Net.Ambient() {
+		t.Errorf("neighbour %.2f should exceed ambient %.2f via coupling", neighbour, fp.Net.Ambient())
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Euler.String() != "euler" {
+		t.Errorf("Euler.String() = %q", Euler.String())
+	}
+	if RK4.String() != "rk4" {
+		t.Errorf("RK4.String() = %q", RK4.String())
+	}
+	if Method(99).String() != "Method(99)" {
+		t.Errorf("Method(99).String() = %q", Method(99).String())
+	}
+}
+
+func BenchmarkSolverStepEuler(b *testing.B) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	s := NewSolver(fp.Net, Euler)
+	p := fp.PowerVector([]float64{8, 8, 8, 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(0.01, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverStepRK4(b *testing.B) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	s := NewSolver(fp.Net, RK4)
+	p := fp.PowerVector([]float64{8, 8, 8, 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(0.01, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a sample set.
+type Summary struct {
+	Count         int
+	Mean, Std     float64
+	Min, Max      float64
+	P25, P50, P75 float64
+	P90, P95, P99 float64
+}
+
+// Summarize computes descriptive statistics of v. An empty input returns the
+// zero Summary.
+func Summarize(v []float64) Summary {
+	if len(v) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(v), Mean: Mean(v), Std: math.Sqrt(Variance(v))}
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.P25 = Percentile(sorted, 0.25)
+	s.P50 = Percentile(sorted, 0.50)
+	s.P75 = Percentile(sorted, 0.75)
+	s.P90 = Percentile(sorted, 0.90)
+	s.P95 = Percentile(sorted, 0.95)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f",
+		s.Count, s.Mean, s.Std, s.Min, s.P50, s.P95, s.Max)
+}
+
+// Percentile returns the p-th (0..1) percentile of an ASCENDING-sorted slice
+// using linear interpolation between closest ranks. Empty input returns 0.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram bins samples into equal-width buckets over [min, max].
+type Histogram struct {
+	// Min and Width define the bucket edges: bucket i covers
+	// [Min + i*Width, Min + (i+1)*Width).
+	Min, Width float64
+	// Counts holds the per-bucket sample counts.
+	Counts []int
+}
+
+// NewHistogram bins v into the given number of buckets (>= 1). A constant or
+// empty input yields a single bucket holding everything.
+func NewHistogram(v []float64, buckets int) Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	lo, hi := Min(v), Max(v)
+	if len(v) == 0 || lo == hi {
+		h := Histogram{Min: lo, Width: 1, Counts: make([]int, 1)}
+		h.Counts[0] = len(v)
+		return h
+	}
+	h := Histogram{Min: lo, Width: (hi - lo) / float64(buckets), Counts: make([]int, buckets)}
+	for _, x := range v {
+		// The guards also handle extreme ranges whose width overflows to
+		// +Inf (the division then yields NaN, which must not index).
+		b := int((x - lo) / h.Width)
+		if b >= buckets || math.IsNaN((x-lo)/h.Width) {
+			b = buckets - 1 // the maximum lands in the last bucket
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// Total returns the number of binned samples.
+func (h Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// String renders an ASCII bar chart, one bucket per line.
+func (h Histogram) String() string {
+	var sb strings.Builder
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&sb, "[%7.2f, %7.2f) %6d %s\n",
+			h.Min+float64(i)*h.Width, h.Min+float64(i+1)*h.Width, c, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}
+
+// Sparkline renders a compact one-line chart of v using Unicode block
+// characters, handy for terminal trace inspection. width <= 0 uses one
+// character per sample.
+func Sparkline(v []float64, width int) string {
+	if len(v) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	if width <= 0 || width > len(v) {
+		width = len(v)
+	}
+	// Downsample by averaging chunks.
+	chunk := float64(len(v)) / float64(width)
+	lo, hi := Min(v), Max(v)
+	span := hi - lo
+	var sb strings.Builder
+	for i := 0; i < width; i++ {
+		from := int(float64(i) * chunk)
+		to := int(float64(i+1) * chunk)
+		if to <= from {
+			to = from + 1
+		}
+		if to > len(v) {
+			to = len(v)
+		}
+		m := Mean(v[from:to])
+		idx := 0
+		if span > 0 {
+			idx = int((m - lo) / span * float64(len(blocks)-1))
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestSummarize(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(v)
+	if s.Count != 10 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if math.Abs(s.Mean-5.5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5.5", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 10 {
+		t.Errorf("Min/Max = %g/%g", s.Min, s.Max)
+	}
+	if math.Abs(s.P50-5.5) > 1e-12 {
+		t.Errorf("P50 = %g, want 5.5", s.P50)
+	}
+	if s.P25 >= s.P50 || s.P50 >= s.P75 || s.P75 >= s.P95 {
+		t.Error("percentiles not ordered")
+	}
+	if got := s.String(); !strings.Contains(got, "n=10") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if Percentile(sorted, 0) != 10 || Percentile(sorted, -1) != 10 {
+		t.Error("p<=0 should return min")
+	}
+	if Percentile(sorted, 1) != 40 || Percentile(sorted, 2) != 40 {
+		t.Error("p>=1 should return max")
+	}
+	// Interpolation: p=0.5 over 4 values -> between 20 and 30.
+	if got := Percentile(sorted, 0.5); math.Abs(got-25) > 1e-12 {
+		t.Errorf("P50 = %g, want 25", got)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		p, q := float64(a)/255, float64(b)/255
+		if p > q {
+			p, q = q, p
+		}
+		vp, vq := Percentile(sorted, p), Percentile(sorted, q)
+		return vp <= vq+1e-9 && vp >= sorted[0]-1e-9 && vq <= sorted[len(sorted)-1]+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	v := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := NewHistogram(v, 5)
+	if len(h.Counts) != 5 {
+		t.Fatalf("buckets = %d", len(h.Counts))
+	}
+	if h.Total() != 10 {
+		t.Errorf("Total = %d, want 10", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Errorf("bucket %d = %d, want 2 (uniform)", i, c)
+		}
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Error("String should draw bars")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram(nil, 4)
+	if h.Total() != 0 || len(h.Counts) != 1 {
+		t.Error("empty histogram wrong")
+	}
+	h = NewHistogram([]float64{5, 5, 5}, 4)
+	if h.Total() != 3 || len(h.Counts) != 1 {
+		t.Error("constant histogram should use a single bucket")
+	}
+	h = NewHistogram([]float64{1, 2}, 0)
+	if len(h.Counts) != 1 {
+		t.Error("bucket count should clamp to 1")
+	}
+}
+
+// Property: every sample lands in exactly one bucket.
+func TestHistogramConservation(t *testing.T) {
+	f := func(raw []float64, buckets uint8) bool {
+		var clean []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		h := NewHistogram(clean, int(buckets%16)+1)
+		return h.Total() == len(clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	v := make([]float64, 100)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	s := Sparkline(v, 20)
+	if utf8.RuneCountInString(s) != 20 {
+		t.Errorf("sparkline width = %d, want 20", utf8.RuneCountInString(s))
+	}
+	// Rising data: first rune is the lowest block; at full resolution (no
+	// chunk averaging) the last sample maps to the highest block.
+	runes := []rune(s)
+	if runes[0] != '▁' {
+		t.Errorf("first rune = %q, want lowest block", runes[0])
+	}
+	full := []rune(Sparkline(v, 0))
+	if full[len(full)-1] != '█' {
+		t.Errorf("last rune = %q, want highest block", full[len(full)-1])
+	}
+	// Constant data: all lowest blocks, full sample width.
+	c := Sparkline([]float64{3, 3, 3}, 0)
+	if c != "▁▁▁" {
+		t.Errorf("constant sparkline = %q", c)
+	}
+}

@@ -1,0 +1,375 @@
+// Package trace records and analyzes time series produced by the simulated
+// platform: per-core temperature traces, power traces and the derived
+// statistics (means, peaks, moving averages, autocorrelation) that both the
+// learning controller and the experiment harness consume.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Series is a uniformly sampled scalar time series.
+type Series struct {
+	// IntervalS is the sampling interval in seconds.
+	IntervalS float64
+	// Values are the samples.
+	Values []float64
+}
+
+// NewSeries creates an empty series with the given sampling interval.
+func NewSeries(intervalS float64) *Series {
+	return &Series{IntervalS: intervalS}
+}
+
+// Append adds a sample.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Duration returns the covered time in seconds.
+func (s *Series) Duration() float64 { return float64(len(s.Values)) * s.IntervalS }
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 { return Mean(s.Values) }
+
+// Max returns the maximum sample, or -Inf for an empty series.
+func (s *Series) Max() float64 { return Max(s.Values) }
+
+// Min returns the minimum sample, or +Inf for an empty series.
+func (s *Series) Min() float64 { return Min(s.Values) }
+
+// Window returns the samples in [from, to) (clamped), without copying.
+func (s *Series) Window(from, to int) []float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s.Values) {
+		to = len(s.Values)
+	}
+	if from >= to {
+		return nil
+	}
+	return s.Values[from:to]
+}
+
+// Tail returns the last n samples (or all of them if fewer exist).
+func (s *Series) Tail(n int) []float64 {
+	if n >= len(s.Values) {
+		return s.Values
+	}
+	return s.Values[len(s.Values)-n:]
+}
+
+// Mean returns the arithmetic mean of v, or 0 if empty.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}
+
+// Max returns the maximum of v, or -Inf if empty.
+func Max(v []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of v, or +Inf if empty.
+func Min(v []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range v {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Variance returns the population variance of v, or 0 if fewer than two
+// samples.
+func Variance(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	mu := Mean(v)
+	var ss float64
+	for _, x := range v {
+		d := x - mu
+		ss += d * d
+	}
+	return ss / float64(len(v))
+}
+
+// Autocorrelation returns the lag-k autocorrelation coefficient of v in
+// [-1, 1]. A constant or too-short series returns 1 (perfectly predictable).
+// The paper uses lag-1 autocorrelation at varying sampling intervals to pick
+// the temperature sampling interval (Fig. 6).
+func Autocorrelation(v []float64, lag int) float64 {
+	if lag <= 0 || len(v) <= lag+1 {
+		return 1
+	}
+	mu := Mean(v)
+	var num, den float64
+	for i := 0; i < len(v); i++ {
+		d := v[i] - mu
+		den += d * d
+	}
+	if den == 0 {
+		return 1
+	}
+	for i := 0; i+lag < len(v); i++ {
+		num += (v[i] - mu) * (v[i+lag] - mu)
+	}
+	return num / den
+}
+
+// Resample returns every k-th sample of v (k >= 1), modeling a sensor read
+// at a coarser sampling interval.
+func Resample(v []float64, k int) []float64 {
+	if k <= 1 {
+		return v
+	}
+	out := make([]float64, 0, len(v)/k+1)
+	for i := 0; i < len(v); i += k {
+		out = append(out, v[i])
+	}
+	return out
+}
+
+// MovingAverage maintains a windowed moving average, used by the controller
+// to detect intra- vs inter-application workload variation (Section 5.4).
+type MovingAverage struct {
+	window []float64
+	size   int
+	next   int
+	filled bool
+	sum    float64
+}
+
+// NewMovingAverage creates a moving average over the given window size
+// (must be >= 1; smaller values are clamped to 1).
+func NewMovingAverage(size int) *MovingAverage {
+	if size < 1 {
+		size = 1
+	}
+	return &MovingAverage{window: make([]float64, size), size: size}
+}
+
+// Push adds a sample and returns the current average.
+func (m *MovingAverage) Push(v float64) float64 {
+	if m.filled {
+		m.sum -= m.window[m.next]
+	}
+	m.window[m.next] = v
+	m.sum += v
+	m.next++
+	if m.next == m.size {
+		m.next = 0
+		m.filled = true
+	}
+	return m.Value()
+}
+
+// Value returns the current average (over however many samples have been
+// pushed, up to the window size). Returns 0 before any sample.
+func (m *MovingAverage) Value() float64 {
+	n := m.Count()
+	if n == 0 {
+		return 0
+	}
+	return m.sum / float64(n)
+}
+
+// Count returns the number of samples currently in the window.
+func (m *MovingAverage) Count() int {
+	if m.filled {
+		return m.size
+	}
+	return m.next
+}
+
+// Reset clears the window.
+func (m *MovingAverage) Reset() {
+	for i := range m.window {
+		m.window[i] = 0
+	}
+	m.next = 0
+	m.filled = false
+	m.sum = 0
+}
+
+// MultiTrace records one series per core plus helper accessors; this is the
+// artifact every simulation run produces.
+type MultiTrace struct {
+	// IntervalS is the sampling interval in seconds.
+	IntervalS float64
+	// Cores holds one temperature series per core, degrees Celsius.
+	Cores []*Series
+}
+
+// NewMultiTrace creates a trace for n cores at the given sampling interval.
+func NewMultiTrace(n int, intervalS float64) *MultiTrace {
+	mt := &MultiTrace{IntervalS: intervalS, Cores: make([]*Series, n)}
+	for i := range mt.Cores {
+		mt.Cores[i] = NewSeries(intervalS)
+	}
+	return mt
+}
+
+// Append records one sample per core; temps must have one entry per core.
+func (mt *MultiTrace) Append(temps []float64) {
+	for i, s := range mt.Cores {
+		s.Append(temps[i])
+	}
+}
+
+// Len returns the number of samples per core.
+func (mt *MultiTrace) Len() int {
+	if len(mt.Cores) == 0 {
+		return 0
+	}
+	return mt.Cores[0].Len()
+}
+
+// MaxSeries returns a derived series holding, at each sample, the maximum
+// temperature across cores — the quantity whose peak the paper reports as
+// "peak temperature".
+func (mt *MultiTrace) MaxSeries() *Series {
+	out := NewSeries(mt.IntervalS)
+	for i := 0; i < mt.Len(); i++ {
+		m := math.Inf(-1)
+		for _, s := range mt.Cores {
+			if s.Values[i] > m {
+				m = s.Values[i]
+			}
+		}
+		out.Append(m)
+	}
+	return out
+}
+
+// MeanSeries returns a derived series of the across-core mean temperature.
+func (mt *MultiTrace) MeanSeries() *Series {
+	out := NewSeries(mt.IntervalS)
+	for i := 0; i < mt.Len(); i++ {
+		var sum float64
+		for _, s := range mt.Cores {
+			sum += s.Values[i]
+		}
+		out.Append(sum / float64(len(mt.Cores)))
+	}
+	return out
+}
+
+// AverageTemperature returns the grand mean over all cores and samples.
+func (mt *MultiTrace) AverageTemperature() float64 {
+	var sum float64
+	var n int
+	for _, s := range mt.Cores {
+		for _, v := range s.Values {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// PeakTemperature returns the maximum over all cores and samples, or -Inf
+// for an empty trace.
+func (mt *MultiTrace) PeakTemperature() float64 {
+	peak := math.Inf(-1)
+	for _, s := range mt.Cores {
+		if m := s.Max(); m > peak {
+			peak = m
+		}
+	}
+	return peak
+}
+
+// WriteCSV writes the trace as CSV with a time column and one column per
+// core, for external plotting.
+func (mt *MultiTrace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 1+len(mt.Cores))
+	header[0] = "time_s"
+	for i := range mt.Cores {
+		header[i+1] = fmt.Sprintf("core%d_C", i)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := 0; i < mt.Len(); i++ {
+		row[0] = strconv.FormatFloat(float64(i)*mt.IntervalS, 'f', 3, 64)
+		for c, s := range mt.Cores {
+			row[c+1] = strconv.FormatFloat(s.Values[i], 'f', 3, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*MultiTrace, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("trace: csv has no data rows")
+	}
+	cores := len(records[0]) - 1
+	if cores < 1 {
+		return nil, fmt.Errorf("trace: csv has no core columns")
+	}
+	// Derive the interval from the first two time stamps.
+	t0, err := strconv.ParseFloat(records[1][0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad time value %q: %w", records[1][0], err)
+	}
+	interval := 1.0
+	if len(records) > 2 {
+		t1, err := strconv.ParseFloat(records[2][0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad time value %q: %w", records[2][0], err)
+		}
+		interval = t1 - t0
+	}
+	mt := NewMultiTrace(cores, interval)
+	temps := make([]float64, cores)
+	for _, rec := range records[1:] {
+		if len(rec) != cores+1 {
+			return nil, fmt.Errorf("trace: ragged csv row (got %d fields, want %d)", len(rec), cores+1)
+		}
+		for c := 0; c < cores; c++ {
+			v, err := strconv.ParseFloat(rec[c+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad temperature %q: %w", rec[c+1], err)
+			}
+			temps[c] = v
+		}
+		mt.Append(temps)
+	}
+	return mt, nil
+}

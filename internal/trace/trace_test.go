@@ -1,0 +1,299 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries(0.5)
+	if s.Len() != 0 || s.Duration() != 0 {
+		t.Error("empty series should have zero length and duration")
+	}
+	if s.Mean() != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if !math.IsInf(s.Max(), -1) || !math.IsInf(s.Min(), 1) {
+		t.Error("empty max/min should be -Inf/+Inf")
+	}
+	for _, v := range []float64{1, 3, 2} {
+		s.Append(v)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if s.Duration() != 1.5 {
+		t.Errorf("Duration = %g, want 1.5", s.Duration())
+	}
+	if s.Mean() != 2 {
+		t.Errorf("Mean = %g, want 2", s.Mean())
+	}
+	if s.Max() != 3 || s.Min() != 1 {
+		t.Errorf("Max/Min = %g/%g, want 3/1", s.Max(), s.Min())
+	}
+}
+
+func TestSeriesWindowAndTail(t *testing.T) {
+	s := NewSeries(1)
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i))
+	}
+	w := s.Window(3, 6)
+	if len(w) != 3 || w[0] != 3 || w[2] != 5 {
+		t.Errorf("Window(3,6) = %v", w)
+	}
+	if got := s.Window(-5, 3); len(got) != 3 {
+		t.Errorf("Window(-5,3) length = %d, want 3 (clamped)", len(got))
+	}
+	if got := s.Window(8, 100); len(got) != 2 {
+		t.Errorf("Window(8,100) length = %d, want 2 (clamped)", len(got))
+	}
+	if got := s.Window(6, 3); got != nil {
+		t.Errorf("Window(6,3) = %v, want nil", got)
+	}
+	if got := s.Tail(4); len(got) != 4 || got[0] != 6 {
+		t.Errorf("Tail(4) = %v", got)
+	}
+	if got := s.Tail(100); len(got) != 10 {
+		t.Errorf("Tail(100) length = %d, want 10", len(got))
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if Variance(nil) != 0 || Variance([]float64{5}) != 0 {
+		t.Error("variance of <2 samples must be 0")
+	}
+	got := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// Constant series: defined as 1.
+	if Autocorrelation([]float64{3, 3, 3, 3}, 1) != 1 {
+		t.Error("constant series autocorrelation should be 1")
+	}
+	// Too short or bad lag: 1.
+	if Autocorrelation([]float64{1, 2}, 1) != 1 {
+		t.Error("too-short series should return 1")
+	}
+	if Autocorrelation([]float64{1, 2, 3, 4}, 0) != 1 {
+		t.Error("lag 0 should return 1")
+	}
+	// Alternating series: strongly negative at lag 1.
+	alt := make([]float64, 100)
+	for i := range alt {
+		alt[i] = float64(i % 2)
+	}
+	if ac := Autocorrelation(alt, 1); ac > -0.9 {
+		t.Errorf("alternating lag-1 autocorrelation = %g, want close to -1", ac)
+	}
+	// Slowly varying series: strongly positive at lag 1.
+	slow := make([]float64, 200)
+	for i := range slow {
+		slow[i] = math.Sin(float64(i) / 30)
+	}
+	if ac := Autocorrelation(slow, 1); ac < 0.9 {
+		t.Errorf("smooth series lag-1 autocorrelation = %g, want close to 1", ac)
+	}
+	// Coarser sampling of the same signal lowers the autocorrelation — the
+	// effect the paper's Fig. 6 relies on.
+	coarse := Resample(slow, 20)
+	if Autocorrelation(coarse, 1) >= Autocorrelation(slow, 1) {
+		t.Error("coarser sampling should reduce lag-1 autocorrelation")
+	}
+}
+
+func TestAutocorrelationBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]float64, 64)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		ac := Autocorrelation(v, 1)
+		return ac >= -1.0000001 && ac <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResample(t *testing.T) {
+	v := []float64{0, 1, 2, 3, 4, 5, 6}
+	got := Resample(v, 3)
+	want := []float64{0, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Resample = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Resample = %v, want %v", got, want)
+		}
+	}
+	if &Resample(v, 1)[0] != &v[0] {
+		t.Error("Resample with k=1 should return input unchanged")
+	}
+	if &Resample(v, 0)[0] != &v[0] {
+		t.Error("Resample with k=0 should return input unchanged")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	m := NewMovingAverage(3)
+	if m.Value() != 0 || m.Count() != 0 {
+		t.Error("fresh moving average should be 0 with no samples")
+	}
+	if got := m.Push(3); got != 3 {
+		t.Errorf("after 1 push: %g, want 3", got)
+	}
+	if got := m.Push(6); got != 4.5 {
+		t.Errorf("after 2 pushes: %g, want 4.5", got)
+	}
+	if got := m.Push(9); got != 6 {
+		t.Errorf("after 3 pushes: %g, want 6", got)
+	}
+	// Window rolls: (6+9+12)/3 = 9.
+	if got := m.Push(12); got != 9 {
+		t.Errorf("after roll: %g, want 9", got)
+	}
+	if m.Count() != 3 {
+		t.Errorf("Count = %d, want 3", m.Count())
+	}
+	m.Reset()
+	if m.Value() != 0 || m.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestMovingAverageClampsSize(t *testing.T) {
+	m := NewMovingAverage(0)
+	m.Push(7)
+	if m.Value() != 7 || m.Count() != 1 {
+		t.Error("size-clamped moving average misbehaves")
+	}
+	m.Push(9)
+	if m.Value() != 9 {
+		t.Errorf("window-1 average = %g, want 9", m.Value())
+	}
+}
+
+// Property: moving average stays within [min, max] of pushed values.
+func TestMovingAverageBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMovingAverage(5)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 30; i++ {
+			v := rng.Float64()*100 - 50
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			avg := m.Push(v)
+			if avg < lo-1e-9 || avg > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiTrace(t *testing.T) {
+	mt := NewMultiTrace(2, 1)
+	mt.Append([]float64{40, 50})
+	mt.Append([]float64{60, 30})
+	if mt.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", mt.Len())
+	}
+	if got := mt.AverageTemperature(); got != 45 {
+		t.Errorf("AverageTemperature = %g, want 45", got)
+	}
+	if got := mt.PeakTemperature(); got != 60 {
+		t.Errorf("PeakTemperature = %g, want 60", got)
+	}
+	ms := mt.MaxSeries()
+	if ms.Values[0] != 50 || ms.Values[1] != 60 {
+		t.Errorf("MaxSeries = %v", ms.Values)
+	}
+	mean := mt.MeanSeries()
+	if mean.Values[0] != 45 || mean.Values[1] != 45 {
+		t.Errorf("MeanSeries = %v", mean.Values)
+	}
+}
+
+func TestMultiTraceEmpty(t *testing.T) {
+	mt := NewMultiTrace(0, 1)
+	if mt.Len() != 0 {
+		t.Error("zero-core trace should have length 0")
+	}
+	if mt.AverageTemperature() != 0 {
+		t.Error("empty trace average should be 0")
+	}
+	if !math.IsInf(mt.PeakTemperature(), -1) {
+		t.Error("empty trace peak should be -Inf")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	mt := NewMultiTrace(3, 0.25)
+	mt.Append([]float64{40.5, 41.25, 42})
+	mt.Append([]float64{43, 44, 45.125})
+	mt.Append([]float64{46, 47, 48})
+	var buf bytes.Buffer
+	if err := mt.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != mt.Len() || len(got.Cores) != len(mt.Cores) {
+		t.Fatalf("round trip shape mismatch: %dx%d vs %dx%d", got.Len(), len(got.Cores), mt.Len(), len(mt.Cores))
+	}
+	if math.Abs(got.IntervalS-0.25) > 1e-9 {
+		t.Errorf("interval = %g, want 0.25", got.IntervalS)
+	}
+	for c := range mt.Cores {
+		for i := range mt.Cores[c].Values {
+			if math.Abs(got.Cores[c].Values[i]-mt.Cores[c].Values[i]) > 1e-3 {
+				t.Errorf("core %d sample %d: %g vs %g", c, i, got.Cores[c].Values[i], mt.Cores[c].Values[i])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"time_s,core0_C\n",
+		"time_s,core0_C\nnotanumber,40\n1,41\n",
+		"time_s,core0_C\n0,bad\n1,41\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, in)
+		}
+	}
+	// Ragged row.
+	if _, err := ReadCSV(strings.NewReader("time_s,core0_C\n0,40\n1\n")); err == nil {
+		t.Error("expected error for ragged csv")
+	}
+}
+
+func BenchmarkAutocorrelation(b *testing.B) {
+	v := make([]float64, 2400)
+	for i := range v {
+		v[i] = math.Sin(float64(i) / 9)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Autocorrelation(v, 1)
+	}
+}

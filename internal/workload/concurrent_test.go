@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func smallApp(name string, work float64) *Application {
+	threads := []*Thread{
+		NewThread(0, name, []Phase{
+			{Kind: Burst, Work: work, Activity: 0.9},
+			{Kind: Sync, Work: work / 10, Activity: 0.1},
+		}),
+		NewThread(1, name, []Phase{
+			{Kind: Burst, Work: work, Activity: 0.9},
+			{Kind: Sync, Work: work / 10, Activity: 0.1},
+		}),
+	}
+	return NewApplication(name, threads, 2.0)
+}
+
+func TestConcurrentComposition(t *testing.T) {
+	a, b := smallApp("a", 2), smallApp("b", 4)
+	c := NewConcurrent(a, b)
+	if c.Name() != "a+b" {
+		t.Errorf("Name = %q, want a+b", c.Name())
+	}
+	if len(c.Threads()) != 4 {
+		t.Errorf("thread union = %d, want 4", len(c.Threads()))
+	}
+	if got := c.TotalWork(); math.Abs(got-(2*2.2+2*4.4)) > 1e-9 {
+		t.Errorf("TotalWork = %g", got)
+	}
+	if got := c.PerfTarget(); got != 4 {
+		t.Errorf("PerfTarget = %g, want 4 (sum)", got)
+	}
+	if len(c.Apps()) != 2 {
+		t.Errorf("Apps = %d", len(c.Apps()))
+	}
+}
+
+func TestConcurrentBarriersIndependent(t *testing.T) {
+	a, b := smallApp("a", 2), smallApp("b", 4)
+	c := NewConcurrent(a, b)
+	// Drive only app a's threads to their barriers; app b untouched.
+	for _, th := range a.Threads() {
+		th.Advance(10)
+	}
+	c.Step()
+	// App a's barrier must release even though app b has not arrived.
+	for _, th := range a.Threads() {
+		if th.AtBarrier() {
+			t.Error("app a's barrier should not wait for app b")
+		}
+	}
+}
+
+func TestConcurrentRunsToCompletion(t *testing.T) {
+	a, b := smallApp("a", 2), smallApp("b", 4)
+	c := NewConcurrent(a, b)
+	for i := 0; i < 10000 && !c.Done(); i++ {
+		for _, th := range c.Threads() {
+			th.Advance(0.5)
+		}
+		c.Step()
+	}
+	if !c.Done() {
+		t.Fatal("concurrent workload did not finish")
+	}
+	if math.Abs(c.CompletedWork()-c.TotalWork()) > 1e-9 {
+		t.Errorf("completed %g != total %g", c.CompletedWork(), c.TotalWork())
+	}
+	// After app a finishes, its constraint drops out of the target.
+	if got := c.PerfTarget(); got != 0 {
+		t.Errorf("PerfTarget after completion = %g, want 0", got)
+	}
+}
+
+func TestConcurrentPerfTargetDropsFinished(t *testing.T) {
+	a, b := smallApp("a", 0.1), smallApp("b", 100)
+	c := NewConcurrent(a, b)
+	for i := 0; i < 100 && !a.Done(); i++ {
+		for _, th := range a.Threads() {
+			th.Advance(1)
+		}
+		c.Step()
+	}
+	if !a.Done() {
+		t.Fatal("app a should be done")
+	}
+	if got := c.PerfTarget(); got != 2 {
+		t.Errorf("PerfTarget = %g, want 2 (only app b)", got)
+	}
+}
+
+func TestConcurrentReset(t *testing.T) {
+	a, b := smallApp("a", 2), smallApp("b", 4)
+	c := NewConcurrent(a, b)
+	for _, th := range c.Threads() {
+		th.Advance(1)
+	}
+	c.Reset()
+	if c.CompletedWork() != 0 {
+		t.Error("Reset did not clear completed work")
+	}
+}
+
+func TestNewConcurrentEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewConcurrent()
+}

@@ -1,0 +1,71 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Build a custom application from a Spec and inspect its structure.
+func ExampleSpec_Generate() {
+	app := workload.Spec{
+		Name:           "encoder",
+		NumThreads:     4,
+		Iterations:     10,
+		BurstWork:      2.0,
+		BurstActivity:  0.8,
+		SyncWork:       0.2,
+		SyncActivity:   0.1,
+		PerfConstraint: 3.0,
+	}.Generate()
+	fmt.Println(app.Name(), len(app.Threads()), "threads")
+	fmt.Printf("total work: %.0f giga-cycles\n", app.TotalWork())
+	// Output:
+	// encoder 4 threads
+	// total work: 88 giga-cycles
+}
+
+// Compose an inter-application scenario.
+func ExampleNewSequence() {
+	seq := workload.NewSequence(
+		workload.MPEGDec(workload.Set1),
+		workload.Tachyon(workload.Set1),
+	)
+	fmt.Println(seq.Name())
+	fmt.Println("starts with:", seq.Current().Name())
+	// Output:
+	// mpeg_dec-tachyon
+	// starts with: mpeg_dec
+}
+
+// Run two applications concurrently on the same chip.
+func ExampleNewConcurrent() {
+	con := workload.NewConcurrent(
+		workload.Tachyon(workload.Set1),
+		workload.MPEGDec(workload.Set1),
+	)
+	fmt.Println(con.Name(), "-", len(con.Threads()), "threads")
+	// Output:
+	// tachyon+mpeg_dec - 12 threads
+}
+
+// Replay a recorded activity trace instead of a synthetic generator.
+func ExampleNewReplayApplication() {
+	traces := [][]float64{
+		{0.9, 0.9, 0.05, 0.9}, // thread 0's recorded activity per 0.5 s
+		{0.8, 0.7, 0.08, 0.6},
+	}
+	app, err := workload.NewReplayApplication(workload.ReplayConfig{
+		Name:          "recorded",
+		IntervalS:     0.5,
+		FreqGHz:       3.4,
+		IdleThreshold: 0.15,
+	}, traces)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(app.Name(), "-", app.Threads()[0].NumPhases(), "phases per thread")
+	// Output:
+	// recorded - 4 phases per thread
+}

@@ -1,0 +1,74 @@
+package workload
+
+import "fmt"
+
+// ReplayConfig parameterizes NewReplayApplication.
+type ReplayConfig struct {
+	// Name labels the application.
+	Name string
+	// IntervalS is the recording interval of the activity traces, seconds.
+	IntervalS float64
+	// FreqGHz is the clock frequency the traces were recorded at; each
+	// interval's work is IntervalS * FreqGHz * activity so the replay takes
+	// roughly the recorded duration when run at the recorded frequency.
+	FreqGHz float64
+	// IdleThreshold classifies an interval as a dependent (sync) phase when
+	// its activity falls below it; these intervals end at a barrier like
+	// the synthetic generators' sync phases. Zero disables classification
+	// (everything is an independent burst).
+	IdleThreshold float64
+	// PerfConstraint is the throughput constraint Pc (may be zero).
+	PerfConstraint float64
+}
+
+// NewReplayApplication builds an application whose threads replay recorded
+// per-interval activity traces (e.g. converted from perf or powertop logs)
+// instead of the synthetic phase generators: traces[i] holds thread i's
+// activity in [0,1] per interval. All traces must have the same length so
+// the barrier structure lines up. This is the integration path for users
+// who have real workload traces rather than analytic phase models.
+func NewReplayApplication(cfg ReplayConfig, traces [][]float64) (*Application, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("workload: replay %q: need at least one trace", cfg.Name)
+	}
+	if cfg.IntervalS <= 0 {
+		return nil, fmt.Errorf("workload: replay %q: interval must be positive, got %g", cfg.Name, cfg.IntervalS)
+	}
+	if cfg.FreqGHz <= 0 {
+		return nil, fmt.Errorf("workload: replay %q: frequency must be positive, got %g", cfg.Name, cfg.FreqGHz)
+	}
+	n := len(traces[0])
+	if n == 0 {
+		return nil, fmt.Errorf("workload: replay %q: empty trace", cfg.Name)
+	}
+	for i, tr := range traces {
+		if len(tr) != n {
+			return nil, fmt.Errorf("workload: replay %q: trace %d has %d intervals, want %d", cfg.Name, i, len(tr), n)
+		}
+	}
+	threads := make([]*Thread, len(traces))
+	for i, tr := range traces {
+		phases := make([]Phase, 0, n)
+		for _, act := range tr {
+			if act < 0 {
+				act = 0
+			}
+			if act > 1 {
+				act = 1
+			}
+			kind := Burst
+			if cfg.IdleThreshold > 0 && act < cfg.IdleThreshold {
+				kind = Sync
+			}
+			// Keep a minimum work floor so even idle intervals consume
+			// schedulable time rather than collapsing to zero-length phases.
+			work := cfg.IntervalS * cfg.FreqGHz * act
+			if work < cfg.IntervalS*cfg.FreqGHz*0.02 {
+				work = cfg.IntervalS * cfg.FreqGHz * 0.02
+			}
+			phases = append(phases, Phase{Kind: kind, Work: work, Activity: act})
+		}
+		threads[i] = NewThread(i, cfg.Name, phases)
+	}
+	return NewApplication(cfg.Name, threads, cfg.PerfConstraint), nil
+}

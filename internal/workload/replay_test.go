@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func replayCfg() ReplayConfig {
+	return ReplayConfig{
+		Name:          "replayed",
+		IntervalS:     0.5,
+		FreqGHz:       3.4,
+		IdleThreshold: 0.15,
+	}
+}
+
+func TestNewReplayApplication(t *testing.T) {
+	traces := [][]float64{
+		{0.9, 0.8, 0.05, 0.9},
+		{0.7, 0.6, 0.10, 0.8},
+	}
+	app, err := NewReplayApplication(replayCfg(), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name() != "replayed" {
+		t.Errorf("Name = %q", app.Name())
+	}
+	if len(app.Threads()) != 2 {
+		t.Fatalf("threads = %d", len(app.Threads()))
+	}
+	th := app.Threads()[0]
+	if th.NumPhases() != 4 {
+		t.Fatalf("phases = %d", th.NumPhases())
+	}
+	// Interval 0 work: 0.5 s * 3.4 GHz * 0.9 activity.
+	wantWork := 0.5 * 3.4 * 0.9
+	if math.Abs(th.phases[0].Work-wantWork) > 1e-12 {
+		t.Errorf("phase 0 work = %g, want %g", th.phases[0].Work, wantWork)
+	}
+	if th.phases[0].Kind != Burst {
+		t.Error("high-activity interval should be a burst")
+	}
+	if th.phases[2].Kind != Sync {
+		t.Error("sub-threshold interval should be a sync phase")
+	}
+	// Idle intervals keep a minimum work floor.
+	if th.phases[2].Work <= 0 {
+		t.Error("idle interval should keep a work floor")
+	}
+}
+
+func TestReplayActivityClamping(t *testing.T) {
+	app, err := NewReplayApplication(replayCfg(), [][]float64{{-0.5, 1.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := app.Threads()[0]
+	if th.phases[0].Activity != 0 {
+		t.Errorf("negative activity should clamp to 0, got %g", th.phases[0].Activity)
+	}
+	if th.phases[1].Activity != 1 {
+		t.Errorf("over-unity activity should clamp to 1, got %g", th.phases[1].Activity)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	cfg := replayCfg()
+	if _, err := NewReplayApplication(cfg, nil); err == nil {
+		t.Error("expected error for no traces")
+	}
+	if _, err := NewReplayApplication(cfg, [][]float64{{}}); err == nil {
+		t.Error("expected error for empty trace")
+	}
+	if _, err := NewReplayApplication(cfg, [][]float64{{1, 1}, {1}}); err == nil {
+		t.Error("expected error for ragged traces")
+	}
+	bad := cfg
+	bad.IntervalS = 0
+	if _, err := NewReplayApplication(bad, [][]float64{{1}}); err == nil {
+		t.Error("expected error for zero interval")
+	}
+	bad = cfg
+	bad.FreqGHz = -1
+	if _, err := NewReplayApplication(bad, [][]float64{{1}}); err == nil {
+		t.Error("expected error for bad frequency")
+	}
+}
+
+func TestReplayRunsToCompletion(t *testing.T) {
+	traces := [][]float64{
+		{0.9, 0.1, 0.9, 0.1},
+		{0.8, 0.1, 0.7, 0.1},
+	}
+	app, err := NewReplayApplication(replayCfg(), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, app, 100000)
+	if math.Abs(app.CompletedWork()-app.TotalWork()) > 1e-9 {
+		t.Error("replay did not complete all work")
+	}
+}

@@ -1,0 +1,188 @@
+// Package workload models the multi-threaded multimedia applications of the
+// ALPBench suite used in the paper (tachyon, mpeg_dec, mpeg_enc, face_rec,
+// sphinx) as phase-structured synthetic programs.
+//
+// Each thread alternates between two kinds of phases, matching the paper's
+// Section 3 characterization:
+//
+//   - independent high-activity compute bursts (ray tracing, motion
+//     estimation, ...), and
+//   - inter-thread dependent low-activity phases that end at a barrier
+//     (frame reassembly, synchronization).
+//
+// The relative durations of these phases are what distinguish the
+// applications thermally: face recognition has long bursts and short
+// dependent phases (high average temperature, low cycling), while mpeg
+// encoding has short bursts and long dependent phases (low average
+// temperature, high cycling). The generators in apps.go encode those
+// per-application statistics.
+//
+// Work is expressed in giga-cycles (GHz-seconds): a thread running alone on
+// a core clocked at f GHz completes f work units per second, which makes
+// execution time frequency-dependent as required for Table 3.
+package workload
+
+import "fmt"
+
+// PhaseKind distinguishes the two phase types.
+type PhaseKind int
+
+const (
+	// Burst is an independent high-activity compute phase.
+	Burst PhaseKind = iota
+	// Sync is an inter-thread dependent low-activity phase that ends at a
+	// barrier shared by all threads of the application.
+	Sync
+)
+
+// String returns the phase kind name.
+func (k PhaseKind) String() string {
+	switch k {
+	case Burst:
+		return "burst"
+	case Sync:
+		return "sync"
+	default:
+		return fmt.Sprintf("PhaseKind(%d)", int(k))
+	}
+}
+
+// Phase is one unit of a thread's execution script.
+type Phase struct {
+	// Kind is the phase type; Sync phases end at a barrier.
+	Kind PhaseKind
+	// Work is the compute demand in giga-cycles.
+	Work float64
+	// Activity is the switching activity in [0,1] while executing this
+	// phase; it drives dynamic power.
+	Activity float64
+}
+
+// Thread is one schedulable thread of an application.
+type Thread struct {
+	// ID is the thread index within its application.
+	ID int
+	// App is the owning application's name (for diagnostics).
+	App string
+
+	phases    []Phase
+	cur       int
+	remaining float64 // work left in the current phase
+	atBarrier bool    // finished a Sync phase, waiting for siblings
+	completed float64 // total work completed
+}
+
+// NewThread builds a thread from its phase script.
+func NewThread(id int, app string, phases []Phase) *Thread {
+	t := &Thread{ID: id, App: app, phases: phases}
+	if len(phases) > 0 {
+		t.remaining = phases[0].Work
+	}
+	return t
+}
+
+// Done reports whether the thread has finished every phase.
+func (t *Thread) Done() bool { return t.cur >= len(t.phases) }
+
+// Runnable reports whether the thread can execute right now (not finished
+// and not blocked at a barrier).
+func (t *Thread) Runnable() bool { return !t.Done() && !t.atBarrier }
+
+// AtBarrier reports whether the thread is blocked waiting for its siblings.
+func (t *Thread) AtBarrier() bool { return t.atBarrier }
+
+// Activity returns the switching activity of the current phase; a blocked
+// or finished thread contributes only a tiny idle activity.
+func (t *Thread) Activity() float64 {
+	if !t.Runnable() {
+		return 0.02
+	}
+	return t.phases[t.cur].Activity
+}
+
+// PhaseIndex returns the index of the current phase (== len(phases) when
+// done).
+func (t *Thread) PhaseIndex() int { return t.cur }
+
+// NumPhases returns the total number of phases in the script.
+func (t *Thread) NumPhases() int { return len(t.phases) }
+
+// CompletedWork returns the total work executed so far, in giga-cycles.
+func (t *Thread) CompletedWork() float64 { return t.completed }
+
+// TotalWork returns the work of the full script, in giga-cycles.
+func (t *Thread) TotalWork() float64 {
+	var w float64
+	for _, p := range t.phases {
+		w += p.Work
+	}
+	return w
+}
+
+// Advance executes up to amount giga-cycles of work and returns the amount
+// actually consumed. It stops early at a barrier (after finishing a Sync
+// phase) or when the script ends. Burst phases roll directly into the next
+// phase.
+func (t *Thread) Advance(amount float64) float64 {
+	var used float64
+	for amount > 0 && t.Runnable() {
+		step := amount
+		if step > t.remaining {
+			step = t.remaining
+		}
+		t.remaining -= step
+		t.completed += step
+		used += step
+		amount -= step
+		if t.remaining > 0 {
+			break
+		}
+		// Phase finished.
+		finished := t.phases[t.cur].Kind
+		if finished == Sync {
+			t.atBarrier = true
+		} else {
+			t.enterNextPhase()
+		}
+	}
+	return used
+}
+
+// ReleaseBarrier unblocks a thread waiting at a barrier and moves it to the
+// next phase. It is called by the Application once all sibling threads have
+// arrived.
+func (t *Thread) ReleaseBarrier() {
+	if !t.atBarrier {
+		return
+	}
+	t.atBarrier = false
+	t.enterNextPhase()
+}
+
+func (t *Thread) enterNextPhase() {
+	t.cur++
+	if t.cur < len(t.phases) {
+		t.remaining = t.phases[t.cur].Work
+		// Skip degenerate zero-work phases.
+		for t.cur < len(t.phases) && t.remaining == 0 {
+			if t.phases[t.cur].Kind == Sync {
+				t.atBarrier = true
+				return
+			}
+			t.cur++
+			if t.cur < len(t.phases) {
+				t.remaining = t.phases[t.cur].Work
+			}
+		}
+	}
+}
+
+// Reset restores the thread to the start of its script.
+func (t *Thread) Reset() {
+	t.cur = 0
+	t.atBarrier = false
+	t.completed = 0
+	if len(t.phases) > 0 {
+		t.remaining = t.phases[0].Work
+	}
+}
