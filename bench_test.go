@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/service"
 )
 
 func benchCfg() experiments.Config {
@@ -42,7 +45,7 @@ func BenchmarkFig1(b *testing.B) {
 // Linux (the paper: ~2x average intra-application improvement).
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cells, err := experiments.Table2(benchCfg())
+		cells, err := experiments.Table2(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,6 +213,46 @@ func BenchmarkFig9(b *testing.B) {
 				b.ReportMetric(100*(1-pr/od), "dynPowerSaving_pct")
 			}
 		}
+	}
+}
+
+// BenchmarkPooledSuite compares the sequential quick suite against the job
+// service's pooled execution at 1, 2 and 4 workers. The pooled rows are
+// bit-identical to the sequential ones (asserted by the service tests);
+// this benchmark measures the wall-clock side of that trade.
+func BenchmarkPooledSuite(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows, err := experiments.Suite(context.Background(), benchCfg())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			store := service.NewStore(0)
+			pool := service.NewPool(store, workers)
+			pool.Start()
+			defer pool.Stop()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				job, err := pool.Submit(service.Spec{Experiment: "suite", Quick: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				final, err := pool.Wait(context.Background(), job.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if final.State != service.StateDone {
+					b.Fatalf("job finished %s: %s", final.State, final.Error)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,92 @@
+// Command thermserved serves the simulation-job subsystem over HTTP: submit
+// experiment campaigns, watch their progress, and fetch their rows while a
+// bounded worker pool fans the cells out across all cores.
+//
+// Usage:
+//
+//	thermserved [-addr :8080] [-workers N] [-ttl 1h]
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             {"experiment":"suite","quick":true,"seed":7}
+//	GET    /v1/jobs             list live jobs
+//	GET    /v1/jobs/{id}        status + progress
+//	GET    /v1/jobs/{id}/result rows as JSON
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             liveness
+//	GET    /metrics             plain-text counters
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
+// requests drain, then the pool cancels and finalizes running jobs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker count (0 = number of CPUs)")
+	ttl := flag.Duration("ttl", service.DefaultTTL, "how long finished jobs stay queryable")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-addr :8080] [-workers N] [-ttl 1h]\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	store := service.NewStore(*ttl)
+	pool := service.NewPool(store, *workers)
+	pool.Start()
+
+	// Periodic eviction keeps memory bounded even when nobody polls.
+	go func() {
+		tick := time.NewTicker(*ttl / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if n := store.Sweep(); n > 0 {
+					log.Printf("evicted %d finished jobs", n)
+				}
+			}
+		}
+	}()
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(store, pool)}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("thermserved listening on %s (%d workers)", *addr, pool.Workers())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		pool.Stop()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	pool.Stop()
+}

@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -53,10 +56,15 @@ func main() {
 	cfg.Quick = *quick
 	cfg.Repeats = *repeats
 
+	// Campaign-shaped experiments abort between cells on ^C instead of
+	// finishing a potentially hour-long sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	if *asJSON {
 		all := map[string]any{}
 		for _, id := range ids {
-			rows, err := experiments.RunRows(cfg, id)
+			rows, err := experiments.RunRowsCtx(ctx, cfg, id)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "thermsim: %s: %v\n", id, err)
 				os.Exit(1)
@@ -74,7 +82,7 @@ func main() {
 
 	for _, id := range ids {
 		start := time.Now()
-		out, err := experiments.Run(cfg, id)
+		out, err := experiments.RunCtx(ctx, cfg, id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "thermsim: %s: %v\n", id, err)
 			os.Exit(1)

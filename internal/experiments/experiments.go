@@ -6,10 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/core"
 	"repro/internal/governor"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -25,6 +27,11 @@ type Config struct {
 	// Repeats averages learning-sensitive sweeps (Fig. 7) over this many
 	// RL seeds; 0 means the default of 3 (1 in Quick mode).
 	Repeats int
+	// Seed, when nonzero, overrides the RL agent's base action-selection
+	// seed (the package default of 42). The job service derives a distinct
+	// per-job seed from the submitted base seed so resubmitting a spec is
+	// bit-identical while distinct campaigns decorrelate.
+	Seed int64
 }
 
 // DefaultConfig returns the full-fidelity configuration.
@@ -81,13 +88,38 @@ func NewPolicy(name string) (sim.Policy, error) {
 	}
 }
 
+// newPolicy builds the policy for one run, threading the config's RL base
+// seed into the proposed controller (every other policy is deterministic,
+// so the seed only affects PolicyProposed and its variants).
+func newPolicy(cfg Config, name string) (sim.Policy, error) {
+	p, err := NewPolicy(name)
+	if err != nil || cfg.Seed == 0 {
+		return p, err
+	}
+	if pp, ok := p.(*sim.ProposedPolicy); ok && pp.Config == nil {
+		ctl := core.DefaultConfig()
+		ctl.Agent.Seed = cfg.Seed
+		pp.Config = &ctl
+	}
+	return p, nil
+}
+
+// agentSeed resolves the base RL seed for runners that construct the
+// proposed controller's config by hand (the seed study).
+func (c Config) agentSeed() int64 {
+	if c.Seed != 0 {
+		return c.Seed
+	}
+	return core.DefaultConfig().Agent.Seed
+}
+
 // runApp executes one (app, dataset, policy) combination.
 func runApp(cfg Config, appName string, ds workload.DataSet, policy string) (*sim.Result, error) {
 	app, err := workload.ByName(appName, ds)
 	if err != nil {
 		return nil, err
 	}
-	pol, err := NewPolicy(policy)
+	pol, err := newPolicy(cfg, policy)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +147,17 @@ func ExperimentNames() []string {
 }
 
 // Run executes an experiment by id and returns its formatted report.
+// Sequential callers that never cancel use this wrapper; long-running
+// services pass a cancellable context to RunCtx instead.
 func Run(cfg Config, id string) (string, error) {
+	return RunCtx(context.Background(), cfg, id)
+}
+
+// RunCtx executes an experiment by id under ctx and returns its formatted
+// report. Campaign-shaped experiments (suite, table2, seeds, concurrent)
+// observe cancellation between cells; the remaining single-shot experiments
+// run to completion.
+func RunCtx(ctx context.Context, cfg Config, id string) (string, error) {
 	switch id {
 	case "fig1":
 		r, err := Fig1(cfg)
@@ -124,7 +166,7 @@ func Run(cfg Config, id string) (string, error) {
 		}
 		return FormatFig1(r), nil
 	case "table2":
-		r, err := Table2(cfg)
+		r, err := Table2(ctx, cfg)
 		if err != nil {
 			return "", err
 		}
@@ -178,7 +220,7 @@ func Run(cfg Config, id string) (string, error) {
 		}
 		return FormatAblation(r), nil
 	case "seeds":
-		r, err := SeedStudy(cfg)
+		r, err := SeedStudy(ctx, cfg)
 		if err != nil {
 			return "", err
 		}
@@ -196,13 +238,13 @@ func Run(cfg Config, id string) (string, error) {
 		}
 		return FormatNoiseStudy(r), nil
 	case "suite":
-		r, err := Suite(cfg)
+		r, err := Suite(ctx, cfg)
 		if err != nil {
 			return "", err
 		}
 		return FormatSuite(r), nil
 	case "concurrent":
-		r, err := Concurrent(cfg)
+		r, err := Concurrent(ctx, cfg)
 		if err != nil {
 			return "", err
 		}
@@ -221,11 +263,16 @@ func Run(cfg Config, id string) (string, error) {
 // RunRows executes an experiment by id and returns its typed row data (for
 // machine-readable output); Table 3 and Fig. 9 share the PerfEnergyGrid rows.
 func RunRows(cfg Config, id string) (any, error) {
+	return RunRowsCtx(context.Background(), cfg, id)
+}
+
+// RunRowsCtx is RunRows under a cancellable context.
+func RunRowsCtx(ctx context.Context, cfg Config, id string) (any, error) {
 	switch id {
 	case "fig1":
 		return Fig1(cfg)
 	case "table2":
-		return Table2(cfg)
+		return Table2(ctx, cfg)
 	case "fig3":
 		return Fig3(cfg)
 	case "fig45":
@@ -241,15 +288,15 @@ func RunRows(cfg Config, id string) (any, error) {
 	case "ablation":
 		return Ablation(cfg)
 	case "seeds":
-		return SeedStudy(cfg)
+		return SeedStudy(ctx, cfg)
 	case "manycore":
 		return Manycore(cfg)
 	case "noise":
 		return NoiseStudy(cfg)
 	case "suite":
-		return Suite(cfg)
+		return Suite(ctx, cfg)
 	case "concurrent":
-		return Concurrent(cfg)
+		return Concurrent(ctx, cfg)
 	case "library":
 		return LibraryStudy(cfg)
 	default:

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -66,7 +68,7 @@ func TestExperimentNamesResolve(t *testing.T) {
 }
 
 func TestTable2Shapes(t *testing.T) {
-	cells, err := Table2(quickCfg())
+	cells, err := Table2(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +306,7 @@ func TestAblationUnknownVariant(t *testing.T) {
 }
 
 func TestSeedStudyShapes(t *testing.T) {
-	rows, err := SeedStudy(quickCfg())
+	rows, err := SeedStudy(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +371,7 @@ func TestRunRowsMatchesNames(t *testing.T) {
 }
 
 func TestConcurrentShapes(t *testing.T) {
-	rows, err := Concurrent(quickCfg())
+	rows, err := Concurrent(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +397,7 @@ func TestConcurrentShapes(t *testing.T) {
 }
 
 func TestSuiteShapes(t *testing.T) {
-	rows, err := Suite(quickCfg())
+	rows, err := Suite(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,5 +454,120 @@ func TestLibraryStudyShapes(t *testing.T) {
 	}
 	if out := FormatLibraryStudy(rows); !strings.Contains(out, "adoptions") {
 		t.Error("FormatLibraryStudy incomplete")
+	}
+}
+
+func TestSuiteContinuesPastFailingCells(t *testing.T) {
+	// A max-sim-time of one second fails every cell; the suite must attempt
+	// all of them and report the failures jointly instead of aborting on
+	// the first.
+	cfg := quickCfg()
+	cfg.Run.MaxSimS = 1
+	rows, err := Suite(context.Background(), cfg)
+	if err == nil {
+		t.Fatal("expected joined per-cell errors")
+	}
+	if len(rows) != 0 {
+		t.Errorf("got %d rows, want 0 when every cell fails", len(rows))
+	}
+	for _, app := range []string{"face_rec", "sphinx"} {
+		if !strings.Contains(err.Error(), app) {
+			t.Errorf("joined error should mention %s cells: %v", app, err)
+		}
+	}
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := quickCfg()
+	if rows, err := Suite(ctx, cfg); !errors.Is(err, context.Canceled) || len(rows) != 0 {
+		t.Errorf("Suite: rows=%d err=%v, want no rows and context.Canceled", len(rows), err)
+	}
+	if _, err := Table2(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("Table2: %v, want context.Canceled", err)
+	}
+	if _, err := SeedStudy(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("SeedStudy: %v, want context.Canceled", err)
+	}
+	if _, err := Concurrent(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("Concurrent: %v, want context.Canceled", err)
+	}
+}
+
+func TestCellsMatchSequentialRunners(t *testing.T) {
+	// Executing the cell plan in order must reproduce the sequential
+	// runner's rows bit for bit — the invariant the pooled job service
+	// relies on.
+	cfg := quickCfg()
+	ctx := context.Background()
+	seq, err := Suite(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, assemble, err := Cells(cfg, "suite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(seq) {
+		t.Fatalf("%d cells for %d sequential rows", len(cells), len(seq))
+	}
+	outs := make([]any, len(cells))
+	for i, c := range cells {
+		row, err := c.Run(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Key, err)
+		}
+		outs[i] = row
+	}
+	got := assemble(outs).([]SuiteRow)
+	if len(got) != len(seq) {
+		t.Fatalf("assembled %d rows, want %d", len(got), len(seq))
+	}
+	for i := range got {
+		if got[i] != seq[i] {
+			t.Errorf("row %d differs: cells %+v vs sequential %+v", i, got[i], seq[i])
+		}
+	}
+}
+
+func TestCellsSingleShotAndUnknown(t *testing.T) {
+	cells, assemble, err := Cells(quickCfg(), "fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("fig6 should be a single cell, got %d", len(cells))
+	}
+	rows, err := cells[0].Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assemble([]any{rows}) == nil {
+		t.Error("single-shot assembler dropped the rows")
+	}
+	if _, _, err := Cells(quickCfg(), "fig99"); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestConfigSeedThreadsIntoProposedPolicy(t *testing.T) {
+	// Distinct base seeds must change the proposed controller's explored
+	// trajectory (different RNG stream) while identical seeds reproduce it.
+	run := func(seed int64) SuiteRow {
+		cfg := quickCfg()
+		cfg.Seed = seed
+		row, err := runSuiteCell(cfg, suiteCell{App: "face_rec", Policy: PolicyProposed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return row
+	}
+	a, b, c := run(7), run(7), run(99)
+	if a != b {
+		t.Errorf("same seed should reproduce: %+v vs %+v", a, b)
+	}
+	if a == c {
+		t.Error("distinct seeds should explore distinct trajectories")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -41,50 +42,76 @@ type SeedStudyRow struct {
 	CyclingMTTF, AgingMTTF, AvgTempC SeedStat
 }
 
-// SeedStudy quantifies how sensitive the paper's headline results are to the
-// RL trajectory: the proposed controller runs under several action-selection
-// seeds and the spread of its lifetime metrics is reported against the
-// deterministic Linux baseline. This is the robustness analysis the paper
-// (like most DAC-length papers) omits.
-func SeedStudy(cfg Config) ([]SeedStudyRow, error) {
-	apps := []string{"tachyon", "mpeg_dec"}
-	seeds := 8
+// seedStudyApps enumerates the campaign's per-application cells and the
+// seed count; one application (baseline plus all its seeds) is one
+// independently runnable cell.
+func seedStudyApps(cfg Config) (apps []string, seeds int) {
+	apps = []string{"tachyon", "mpeg_dec"}
+	seeds = 8
 	if cfg.Quick {
 		apps = apps[:1]
 		seeds = 3
 	}
+	return apps, seeds
+}
+
+// runSeedStudyCell executes the baseline and the full seed sweep for one
+// application. Cancellation via ctx stops between seed runs.
+func runSeedStudyCell(ctx context.Context, cfg Config, appName string, seeds int) (SeedStudyRow, error) {
+	lin, err := runApp(cfg, appName, workload.Set1, PolicyLinuxOndemand)
+	if err != nil {
+		return SeedStudyRow{}, err
+	}
+	base := cfg.agentSeed()
+	var cyc, age, avg []float64
+	for s := 0; s < seeds; s++ {
+		if err := ctx.Err(); err != nil {
+			return SeedStudyRow{}, err
+		}
+		app, err := workload.ByName(appName, workload.Set1)
+		if err != nil {
+			return SeedStudyRow{}, err
+		}
+		ctl := core.DefaultConfig()
+		ctl.Agent.Seed = base + int64(1000*s)
+		pol := &sim.ProposedPolicy{Config: &ctl}
+		r, err := sim.Run(cfg.Run, app, pol)
+		if err != nil {
+			return SeedStudyRow{}, fmt.Errorf("seed study %s seed %d: %w", appName, s, err)
+		}
+		cyc = append(cyc, r.CyclingMTTF)
+		age = append(age, r.AgingMTTF)
+		avg = append(avg, r.AvgTempC)
+	}
+	return SeedStudyRow{
+		App:              appName,
+		Seeds:            seeds,
+		LinuxCyclingMTTF: lin.CyclingMTTF,
+		LinuxAgingMTTF:   lin.AgingMTTF,
+		CyclingMTTF:      computeStat(cyc),
+		AgingMTTF:        computeStat(age),
+		AvgTempC:         computeStat(avg),
+	}, nil
+}
+
+// SeedStudy quantifies how sensitive the paper's headline results are to the
+// RL trajectory: the proposed controller runs under several action-selection
+// seeds and the spread of its lifetime metrics is reported against the
+// deterministic Linux baseline. This is the robustness analysis the paper
+// (like most DAC-length papers) omits. Cancellation via ctx stops between
+// individual seed runs.
+func SeedStudy(ctx context.Context, cfg Config) ([]SeedStudyRow, error) {
+	apps, seeds := seedStudyApps(cfg)
 	var rows []SeedStudyRow
 	for _, appName := range apps {
-		lin, err := runApp(cfg, appName, workload.Set1, PolicyLinuxOndemand)
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
+		row, err := runSeedStudyCell(ctx, cfg, appName, seeds)
 		if err != nil {
-			return nil, err
+			return rows, err
 		}
-		var cyc, age, avg []float64
-		for s := 0; s < seeds; s++ {
-			app, err := workload.ByName(appName, workload.Set1)
-			if err != nil {
-				return nil, err
-			}
-			ctl := core.DefaultConfig()
-			ctl.Agent.Seed = 42 + int64(1000*s)
-			pol := &sim.ProposedPolicy{Config: &ctl}
-			r, err := sim.Run(cfg.Run, app, pol)
-			if err != nil {
-				return nil, fmt.Errorf("seed study %s seed %d: %w", appName, s, err)
-			}
-			cyc = append(cyc, r.CyclingMTTF)
-			age = append(age, r.AgingMTTF)
-			avg = append(avg, r.AvgTempC)
-		}
-		rows = append(rows, SeedStudyRow{
-			App:              appName,
-			Seeds:            seeds,
-			LinuxCyclingMTTF: lin.CyclingMTTF,
-			LinuxAgingMTTF:   lin.AgingMTTF,
-			CyclingMTTF:      computeStat(cyc),
-			AgingMTTF:        computeStat(age),
-			AvgTempC:         computeStat(avg),
-		})
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

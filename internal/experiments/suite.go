@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -23,35 +25,67 @@ type SuiteRow struct {
 // paper's three policies.
 var suitePolicies = []string{PolicyLinuxOndemand, PolicyThrottle, PolicyGe, PolicyProposed}
 
-// Suite runs every ALPBench application (data set 1) under four policies —
-// the paper's three plus a reactive thermal-throttling baseline — extending
-// Table 2's three applications to the full five-app suite and adding the
-// SOFR-combined lifetime.
-func Suite(cfg Config) ([]SuiteRow, error) {
+// suiteCell identifies one independently runnable (app, policy) unit of the
+// suite campaign. Cells share nothing — each builds a fresh workload and
+// policy — so the pooled and sequential paths produce identical numbers.
+type suiteCell struct {
+	App, Policy string
+}
+
+// suiteCells enumerates the campaign's cells in table order.
+func suiteCells(cfg Config) []suiteCell {
 	apps := workload.AppNames()
 	if cfg.Quick {
 		apps = []string{"face_rec", "sphinx"}
 	}
-	var rows []SuiteRow
+	cells := make([]suiteCell, 0, len(apps)*len(suitePolicies))
 	for _, app := range apps {
 		for _, pol := range suitePolicies {
-			r, err := runApp(cfg, app, workload.Set1, pol)
-			if err != nil {
-				return nil, fmt.Errorf("suite %s/%s: %w", app, pol, err)
-			}
-			rows = append(rows, SuiteRow{
-				App:          app,
-				Policy:       pol,
-				AvgTempC:     r.AvgTempC,
-				PeakTempC:    r.PeakTempC,
-				CyclingMTTF:  r.CyclingMTTF,
-				AgingMTTF:    r.AgingMTTF,
-				CombinedMTTF: r.CombinedMTTF,
-				ExecTimeS:    r.ExecTimeS,
-			})
+			cells = append(cells, suiteCell{App: app, Policy: pol})
 		}
 	}
-	return rows, nil
+	return cells
+}
+
+// runSuiteCell executes one cell of the suite campaign.
+func runSuiteCell(cfg Config, c suiteCell) (SuiteRow, error) {
+	r, err := runApp(cfg, c.App, workload.Set1, c.Policy)
+	if err != nil {
+		return SuiteRow{}, fmt.Errorf("suite %s/%s: %w", c.App, c.Policy, err)
+	}
+	return SuiteRow{
+		App:          c.App,
+		Policy:       c.Policy,
+		AvgTempC:     r.AvgTempC,
+		PeakTempC:    r.PeakTempC,
+		CyclingMTTF:  r.CyclingMTTF,
+		AgingMTTF:    r.AgingMTTF,
+		CombinedMTTF: r.CombinedMTTF,
+		ExecTimeS:    r.ExecTimeS,
+	}, nil
+}
+
+// Suite runs every ALPBench application (data set 1) under four policies —
+// the paper's three plus a reactive thermal-throttling baseline — extending
+// Table 2's three applications to the full five-app suite and adding the
+// SOFR-combined lifetime. A failing cell no longer aborts the campaign: the
+// surviving rows are returned together with the joined per-cell errors.
+// Cancellation via ctx stops between cells and returns the partial rows.
+func Suite(ctx context.Context, cfg Config) ([]SuiteRow, error) {
+	var rows []SuiteRow
+	var errs []error
+	for _, c := range suiteCells(cfg) {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
+		row, err := runSuiteCell(cfg, c)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		rows = append(rows, row)
+	}
+	return rows, errors.Join(errs...)
 }
 
 // FormatSuite renders the full-suite table.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,34 +26,65 @@ var table2Policies = []string{PolicyLinuxOndemand, PolicyGe, PolicyProposed}
 // table2Apps are the three applications of Table 2.
 var table2Apps = []string{"tachyon", "mpeg_dec", "mpeg_enc"}
 
-// Table2 reproduces the intra-application evaluation: average temperature,
-// peak temperature and MTTF due to thermal cycling and aging for three
-// applications x three data sets x {Linux ondemand, Ge et al. [7], Proposed}.
-func Table2(cfg Config) ([]Table2Cell, error) {
+// table2Cell identifies one independently runnable (app, data set, policy)
+// unit of the Table 2 campaign.
+type table2Cell struct {
+	App     string
+	DataSet workload.DataSet
+	Policy  string
+}
+
+// table2Cells enumerates the campaign's cells in table order.
+func table2Cells(cfg Config) []table2Cell {
 	sets := []workload.DataSet{workload.Set1, workload.Set2, workload.Set3}
 	if cfg.Quick {
 		sets = sets[:1]
 	}
-	var cells []Table2Cell
+	cells := make([]table2Cell, 0, len(table2Apps)*len(sets)*len(table2Policies))
 	for _, app := range table2Apps {
 		for _, ds := range sets {
 			for _, pol := range table2Policies {
-				r, err := runApp(cfg, app, ds, pol)
-				if err != nil {
-					return nil, fmt.Errorf("table2 %s/%v/%s: %w", app, ds, pol, err)
-				}
-				cells = append(cells, Table2Cell{
-					App:         app,
-					DataSet:     ds,
-					Policy:      pol,
-					AvgTempC:    r.AvgTempC,
-					PeakTempC:   r.PeakTempC,
-					CyclingMTTF: r.CyclingMTTF,
-					AgingMTTF:   r.AgingMTTF,
-					ExecTimeS:   r.ExecTimeS,
-				})
+				cells = append(cells, table2Cell{App: app, DataSet: ds, Policy: pol})
 			}
 		}
+	}
+	return cells
+}
+
+// runTable2Cell executes one cell of the Table 2 campaign.
+func runTable2Cell(cfg Config, c table2Cell) (Table2Cell, error) {
+	r, err := runApp(cfg, c.App, c.DataSet, c.Policy)
+	if err != nil {
+		return Table2Cell{}, fmt.Errorf("table2 %s/%v/%s: %w", c.App, c.DataSet, c.Policy, err)
+	}
+	return Table2Cell{
+		App:         c.App,
+		DataSet:     c.DataSet,
+		Policy:      c.Policy,
+		AvgTempC:    r.AvgTempC,
+		PeakTempC:   r.PeakTempC,
+		CyclingMTTF: r.CyclingMTTF,
+		AgingMTTF:   r.AgingMTTF,
+		ExecTimeS:   r.ExecTimeS,
+	}, nil
+}
+
+// Table2 reproduces the intra-application evaluation: average temperature,
+// peak temperature and MTTF due to thermal cycling and aging for three
+// applications x three data sets x {Linux ondemand, Ge et al. [7], Proposed}.
+// Cancellation via ctx stops between cells.
+func Table2(ctx context.Context, cfg Config) ([]Table2Cell, error) {
+	plan := table2Cells(cfg)
+	cells := make([]Table2Cell, 0, len(plan))
+	for _, c := range plan {
+		if err := ctx.Err(); err != nil {
+			return cells, err
+		}
+		cell, err := runTable2Cell(cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
 	}
 	return cells, nil
 }

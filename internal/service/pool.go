@@ -1,0 +1,259 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/experiments"
+)
+
+// Planner decomposes a campaign into independently runnable cells. The
+// default is experiments.Cells; tests swap in synthetic plans to exercise
+// panic recovery and cancellation without running the simulator.
+type Planner func(cfg experiments.Config, id string) ([]experiments.Cell, experiments.Assemble, error)
+
+// Pool executes job cells on a bounded set of workers. Cells from all jobs
+// share one queue, so a wide campaign fans out across every worker while
+// several narrow ones interleave fairly.
+type Pool struct {
+	store   *Store
+	workers int
+	plan    Planner
+
+	// tasks is an unbuffered handoff: a cell is either held by its job's
+	// feeder or being executed by a worker, never parked in a buffer where
+	// shutdown could strand it.
+	tasks    chan task
+	ctx      context.Context
+	cancel   context.CancelFunc
+	workerWG sync.WaitGroup
+	feederWG sync.WaitGroup
+
+	busy          atomic.Int64
+	cellsDone     atomic.Int64
+	cellsFailed   atomic.Int64
+	jobsSubmitted atomic.Int64
+}
+
+// jobRun is the pool-side state shared by one job's cells.
+type jobRun struct {
+	id       string
+	ctx      context.Context
+	cancel   context.CancelFunc
+	assemble experiments.Assemble
+
+	mu        sync.Mutex
+	rows      []any
+	errs      []error
+	remaining int
+
+	startOnce sync.Once
+}
+
+// task pairs one cell with its job.
+type task struct {
+	jr   *jobRun
+	idx  int
+	cell experiments.Cell
+}
+
+// NewPool builds a pool over store with the given worker count;
+// workers <= 0 selects runtime.NumCPU(). Call Start before Submit.
+func NewPool(store *Store, workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Pool{
+		store:   store,
+		workers: workers,
+		plan:    experiments.Cells,
+		tasks:   make(chan task),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+}
+
+// Start launches the workers.
+func (p *Pool) Start() {
+	for i := 0; i < p.workers; i++ {
+		p.workerWG.Add(1)
+		go p.worker()
+	}
+}
+
+// Stop cancels every job and blocks until all feeders and workers exit.
+// Jobs still in flight finalize as cancelled.
+func (p *Pool) Stop() {
+	p.cancel()
+	p.feederWG.Wait()
+	p.workerWG.Wait()
+}
+
+// Submit validates spec, plans its cells and enqueues them, returning the
+// pending job snapshot immediately.
+func (p *Pool) Submit(spec Spec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	cells, assemble, err := p.plan(spec.Config(), spec.Experiment)
+	if err != nil {
+		return Job{}, err
+	}
+	job := p.store.Create(spec, len(cells))
+	jctx, jcancel := context.WithCancel(p.ctx)
+	p.store.BindCancel(job.ID, jcancel)
+	jr := &jobRun{
+		id:        job.ID,
+		ctx:       jctx,
+		cancel:    jcancel,
+		assemble:  assemble,
+		rows:      make([]any, len(cells)),
+		errs:      make([]error, len(cells)),
+		remaining: len(cells),
+	}
+	p.jobsSubmitted.Add(1)
+	p.feederWG.Add(1)
+	go p.feed(jr, cells)
+	return job, nil
+}
+
+// Wait blocks until job id reaches a terminal state (returning its final
+// snapshot) or ctx expires.
+func (p *Pool) Wait(ctx context.Context, id string) (Job, error) {
+	done := p.store.Done(id)
+	if done == nil {
+		return Job{}, fmt.Errorf("service: wait on unknown job %s", id)
+	}
+	select {
+	case <-done:
+		job, _ := p.store.Get(id)
+		return job, nil
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	}
+}
+
+// feed hands a job's cells to the workers in order, bailing out (and
+// accounting the unfed remainder) as soon as the job is cancelled.
+func (p *Pool) feed(jr *jobRun, cells []experiments.Cell) {
+	defer p.feederWG.Done()
+	if len(cells) == 0 {
+		p.finalize(jr)
+		return
+	}
+	for i := range cells {
+		select {
+		case <-jr.ctx.Done():
+			for j := i; j < len(cells); j++ {
+				p.finishCell(jr, j, nil, jr.ctx.Err(), true)
+			}
+			return
+		case p.tasks <- task{jr: jr, idx: i, cell: cells[i]}:
+		}
+	}
+}
+
+// worker executes handed-off cells until the pool shuts down.
+func (p *Pool) worker() {
+	defer p.workerWG.Done()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case t := <-p.tasks:
+			p.runTask(t)
+		}
+	}
+}
+
+// runTask executes one cell with panic recovery and accounts the outcome.
+func (p *Pool) runTask(t task) {
+	t.jr.startOnce.Do(func() {
+		// A job racing its own cancellation may no longer start; its cells
+		// are then skipped through the context check below.
+		_ = p.store.Start(t.jr.id)
+	})
+	if err := t.jr.ctx.Err(); err != nil {
+		p.finishCell(t.jr, t.idx, nil, err, true)
+		return
+	}
+	p.busy.Add(1)
+	row, err := runCell(t.jr.ctx, t.cell)
+	p.busy.Add(-1)
+	// An error caused by the job's own cancellation is a skip, not a
+	// failure: the job finalizes as cancelled either way.
+	skipped := err != nil && t.jr.ctx.Err() != nil
+	p.finishCell(t.jr, t.idx, row, err, skipped)
+}
+
+// runCell invokes the cell, converting a panic into an error so one bad
+// cell cannot kill the worker fleet.
+func runCell(ctx context.Context, cell experiments.Cell) (row any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			row, err = nil, fmt.Errorf("service: cell %s panicked: %v", cell.Key, r)
+		}
+	}()
+	row, err = cell.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// finishCell records one cell's outcome and finalizes the job when it was
+// the last one outstanding.
+func (p *Pool) finishCell(jr *jobRun, idx int, row any, err error, skipped bool) {
+	jr.mu.Lock()
+	if err == nil && !skipped {
+		jr.rows[idx] = row
+	} else if err != nil && !skipped {
+		jr.errs[idx] = err
+	}
+	jr.remaining--
+	last := jr.remaining == 0
+	jr.mu.Unlock()
+
+	if !skipped {
+		if err == nil {
+			p.cellsDone.Add(1)
+			p.store.AddProgress(jr.id, 1, 0)
+		} else {
+			p.cellsFailed.Add(1)
+			p.store.AddProgress(jr.id, 0, 1)
+		}
+	}
+	if last {
+		p.finalize(jr)
+	}
+}
+
+// finalize assembles the job's rows in cell order and commits the terminal
+// state: cancelled if its context was cut, failed if any cell errored, done
+// otherwise. Partial rows survive alongside the joined errors.
+func (p *Pool) finalize(jr *jobRun) {
+	defer jr.cancel()
+	rows := jr.assemble(jr.rows)
+	err := errors.Join(jr.errs...)
+	p.store.Finish(jr.id, rows, err, jr.ctx.Err() != nil)
+}
+
+// Workers is the configured worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// BusyWorkers is the number of workers currently executing a cell.
+func (p *Pool) BusyWorkers() int64 { return p.busy.Load() }
+
+// CellsCompleted is the lifetime count of successfully executed cells.
+func (p *Pool) CellsCompleted() int64 { return p.cellsDone.Load() }
+
+// CellsFailed is the lifetime count of cells that returned an error.
+func (p *Pool) CellsFailed() int64 { return p.cellsFailed.Load() }
+
+// JobsSubmitted is the lifetime count of accepted submissions.
+func (p *Pool) JobsSubmitted() int64 { return p.jobsSubmitted.Load() }

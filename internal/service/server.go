@@ -1,0 +1,137 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Server exposes the job subsystem over HTTP:
+//
+//	POST   /v1/jobs             submit a campaign spec, returns the job
+//	GET    /v1/jobs             list live jobs
+//	GET    /v1/jobs/{id}        status and progress
+//	GET    /v1/jobs/{id}/result assembled rows of a finished job
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             liveness
+//	GET    /metrics             plain-text counters
+type Server struct {
+	store *Store
+	pool  *Pool
+	mux   *http.ServeMux
+}
+
+// NewServer wires the handlers over one store/pool pair.
+func NewServer(store *Store, pool *Pool) *Server {
+	s := &Server{store: store, pool: pool, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v) //nolint:errcheck // headers are out; nothing left to do
+}
+
+// writeError emits a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	job, err := s.pool.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.store.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s", id)
+		return
+	}
+	if !job.State.Terminal() {
+		writeError(w, http.StatusConflict, "job %s is %s; result not ready", id, job.State)
+		return
+	}
+	rows, _ := s.store.Rows(id)
+	if rows == nil {
+		writeError(w, http.StatusConflict, "job %s is %s with no rows", id, job.State)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":         job.ID,
+		"experiment": job.Spec.Experiment,
+		"state":      job.State,
+		"error":      job.Error,
+		"rows":       rows,
+	})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.store.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics emits plain-text counters in Prometheus exposition style
+// (no client dependency): jobs by state, cell totals, worker utilization.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	byState := s.store.CountByState()
+	for _, st := range []State{StatePending, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "thermserved_jobs{state=%q} %d\n", st, byState[st])
+	}
+	fmt.Fprintf(w, "thermserved_jobs_submitted_total %d\n", s.pool.JobsSubmitted())
+	fmt.Fprintf(w, "thermserved_cells_completed_total %d\n", s.pool.CellsCompleted())
+	fmt.Fprintf(w, "thermserved_cells_failed_total %d\n", s.pool.CellsFailed())
+	fmt.Fprintf(w, "thermserved_workers %d\n", s.pool.Workers())
+	fmt.Fprintf(w, "thermserved_workers_busy %d\n", s.pool.BusyWorkers())
+}

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// startServer wires a store, pool and httptest server together.
+func startServer(t *testing.T, workers int) (*httptest.Server, *Pool, *Store) {
+	t.Helper()
+	store := NewStore(0)
+	pool := NewPool(store, workers)
+	pool.Start()
+	t.Cleanup(pool.Stop)
+	ts := httptest.NewServer(NewServer(store, pool))
+	t.Cleanup(ts.Close)
+	return ts, pool, store
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServerJobRoundTrip drives the full submit → poll → result flow the
+// ISSUE's acceptance criterion describes, over real HTTP.
+func TestServerJobRoundTrip(t *testing.T) {
+	ts, _, _ := startServer(t, 4)
+
+	var job Job
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", Spec{Experiment: "suite", Quick: true}, &job); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if job.ID == "" || job.Progress.TotalCells != 8 {
+		t.Fatalf("submit returned %+v", job)
+	}
+
+	// Result before completion is a conflict (unless the pool already won
+	// the race, which quick cells can).
+	var probe Job
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+job.ID, nil, &probe); code != http.StatusOK {
+		t.Fatalf("status poll: %d", code)
+	}
+	if !probe.State.Terminal() {
+		// The job may finish between the poll and this fetch, so a 200 is
+		// also legal; anything else is a bug.
+		code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+job.ID+"/result", nil, nil)
+		if code != http.StatusConflict && code != http.StatusOK {
+			t.Errorf("early result fetch: status %d, want 409 or 200", code)
+		}
+	}
+
+	// Poll to completion.
+	deadline := time.Now().Add(2 * time.Minute)
+	for !probe.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s (%+v)", probe.State, probe.Progress)
+		}
+		time.Sleep(20 * time.Millisecond)
+		doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+job.ID, nil, &probe)
+	}
+	if probe.State != StateDone {
+		t.Fatalf("job finished %s: %s", probe.State, probe.Error)
+	}
+	if probe.Progress.DoneCells != 8 || probe.WallClockS <= 0 {
+		t.Errorf("final snapshot off: %+v", probe)
+	}
+
+	// Fetch and type-check the rows.
+	var result struct {
+		ID    string                 `json:"id"`
+		State State                  `json:"state"`
+		Rows  []experiments.SuiteRow `json:"rows"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+job.ID+"/result", nil, &result); code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+	if result.ID != job.ID || len(result.Rows) != 8 {
+		t.Fatalf("result payload off: id=%s rows=%d", result.ID, len(result.Rows))
+	}
+	// Spot-check against the sequential runner: rows must be identical.
+	seq, err := experiments.Suite(context.Background(), experiments.Config{Run: experiments.DefaultConfig().Run, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if result.Rows[i] != seq[i] {
+			t.Errorf("row %d over HTTP differs from sequential: %+v vs %+v", i, result.Rows[i], seq[i])
+		}
+	}
+
+	// The job shows up in the listing.
+	var list struct {
+		Jobs []Job `json:"jobs"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs", nil, &list); code != http.StatusOK || len(list.Jobs) != 1 {
+		t.Errorf("list: code %d, %d jobs", code, len(list.Jobs))
+	}
+}
+
+func TestServerCancel(t *testing.T) {
+	ts, pool, _ := startServer(t, 1)
+	started := make(chan struct{})
+	pool.plan = stubPlan([]experiments.Cell{
+		{Key: "block", Run: func(ctx context.Context) (any, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}},
+		{Key: "never", Run: func(context.Context) (any, error) { return nil, nil }},
+	})
+	var job Job
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", Spec{Experiment: "suite"}, &job); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	<-started
+	var cancelled Job
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+job.ID, nil, &cancelled); code != http.StatusAccepted {
+		t.Fatalf("cancel: %d", code)
+	}
+	final := waitDone(t, pool, job.ID)
+	if final.State != StateCancelled {
+		t.Errorf("state after cancel: %s", final.State)
+	}
+}
+
+func TestServerErrorsAndHealth(t *testing.T) {
+	ts, _, _ := startServer(t, 1)
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/job-000042", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", code)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/job-000042/result", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown result: %d, want 404", code)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/job-000042", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown cancel: %d, want 404", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", Spec{Experiment: "fig99"}, nil); code != http.StatusBadRequest {
+		t.Errorf("bad experiment: %d, want 400", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: %d, want 400", resp.StatusCode)
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", hz.StatusCode)
+	}
+}
+
+func TestServerMetrics(t *testing.T) {
+	ts, pool, _ := startServer(t, 2)
+	pool.plan = stubPlan([]experiments.Cell{{Key: "one", Run: func(context.Context) (any, error) { return 1, nil }}})
+	var job Job
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", Spec{Experiment: "suite"}, &job)
+	waitDone(t, pool, job.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		`thermserved_jobs{state="done"} 1`,
+		"thermserved_jobs_submitted_total 1",
+		"thermserved_cells_completed_total 1",
+		fmt.Sprintf("thermserved_workers %d", pool.Workers()),
+		"thermserved_workers_busy 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

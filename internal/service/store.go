@@ -1,0 +1,249 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultTTL is how long finished jobs stay queryable before eviction.
+const DefaultTTL = time.Hour
+
+// record is the store's authoritative, mutex-guarded state for one job.
+type record struct {
+	job Job
+	// rows is the assembled result, set exactly once at completion.
+	rows any
+	// cancel aborts the job's context; bound by the pool at submission.
+	cancel context.CancelFunc
+	// cancelRequested remembers a DELETE while the job was still running,
+	// so the finalizer lands on cancelled rather than failed.
+	cancelRequested bool
+	// done is closed on the transition into a terminal state.
+	done chan struct{}
+}
+
+// Store is the in-memory job store. All access is serialized by one mutex;
+// reads return snapshot copies so callers never share mutable state with
+// the pool's workers.
+type Store struct {
+	mu   sync.Mutex
+	ttl  time.Duration
+	now  func() time.Time
+	seq  int
+	jobs map[string]*record
+}
+
+// NewStore builds a store evicting finished jobs ttl after completion;
+// ttl <= 0 selects DefaultTTL.
+func NewStore(ttl time.Duration) *Store {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Store{ttl: ttl, now: time.Now, jobs: make(map[string]*record)}
+}
+
+// Create registers a pending job for spec with a fixed cell budget and
+// returns its snapshot.
+func (s *Store) Create(spec Spec, totalCells int) Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked()
+	s.seq++
+	rec := &record{
+		job: Job{
+			ID:          fmt.Sprintf("job-%06d", s.seq),
+			Spec:        spec,
+			State:       StatePending,
+			Progress:    Progress{TotalCells: totalCells},
+			SubmittedAt: s.now(),
+		},
+		done: make(chan struct{}),
+	}
+	s.jobs[rec.job.ID] = rec
+	return rec.job
+}
+
+// Get returns the snapshot of one job.
+func (s *Store) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return rec.job, true
+}
+
+// List returns snapshots of every live job in submission order.
+func (s *Store) List() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked()
+	out := make([]Job, 0, len(s.jobs))
+	for _, rec := range s.jobs {
+		out = append(out, rec.job)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Rows returns the assembled result of a finished job (nil until then).
+func (s *Store) Rows(id string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return rec.rows, true
+}
+
+// Done returns a channel closed when the job reaches a terminal state; a
+// nil channel (never ready) is returned for unknown ids.
+func (s *Store) Done(id string) <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return nil
+	}
+	return rec.done
+}
+
+// BindCancel attaches the pool's per-job cancel function.
+func (s *Store) BindCancel(id string, cancel context.CancelFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.jobs[id]; ok {
+		rec.cancel = cancel
+	}
+}
+
+// Start transitions pending → running. It fails on jobs already cancelled,
+// so a worker racing a DELETE backs off cleanly.
+func (s *Store) Start(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("service: start of unknown job %s", id)
+	}
+	if rec.job.State == StateRunning {
+		return nil
+	}
+	if !rec.job.State.CanTransition(StateRunning) {
+		return fmt.Errorf("service: job %s is %s, cannot start", id, rec.job.State)
+	}
+	rec.job.State = StateRunning
+	rec.job.StartedAt = s.now()
+	return nil
+}
+
+// AddProgress credits finished cells to a job.
+func (s *Store) AddProgress(id string, done, failed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.jobs[id]; ok {
+		rec.job.Progress.DoneCells += done
+		rec.job.Progress.FailedCells += failed
+	}
+}
+
+// Finish moves a job into its terminal state: cancelled if cancellation was
+// requested (or runErr wraps context.Canceled via the pool), failed if any
+// cell errored, done otherwise. rows may carry partial results alongside an
+// error. Finishing an already-terminal job (a cancelled-while-pending job
+// being finalized by the pool) is a no-op that still records any rows.
+func (s *Store) Finish(id string, rows any, runErr error, cancelled bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return
+	}
+	if rec.rows == nil && rows != nil {
+		rec.rows = rows
+	}
+	if rec.job.State.Terminal() {
+		return
+	}
+	next := StateDone
+	switch {
+	case cancelled || rec.cancelRequested:
+		next = StateCancelled
+	case runErr != nil:
+		next = StateFailed
+	}
+	s.finalizeLocked(rec, next, runErr)
+}
+
+// Cancel requests cancellation. A pending job is cancelled on the spot; a
+// running job is cancelled by the pool once its in-flight cells unwind. The
+// returned snapshot reflects the post-call state.
+func (s *Store) Cancel(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("service: cancel of unknown job %s", id)
+	}
+	if rec.job.State.Terminal() {
+		return rec.job, nil
+	}
+	rec.cancelRequested = true
+	if rec.cancel != nil {
+		rec.cancel()
+	}
+	if rec.job.State == StatePending {
+		s.finalizeLocked(rec, StateCancelled, nil)
+	}
+	return rec.job, nil
+}
+
+// finalizeLocked commits a terminal transition. Callers hold s.mu.
+func (s *Store) finalizeLocked(rec *record, next State, runErr error) {
+	rec.job.State = next
+	rec.job.FinishedAt = s.now()
+	if !rec.job.StartedAt.IsZero() {
+		rec.job.WallClockS = rec.job.FinishedAt.Sub(rec.job.StartedAt).Seconds()
+	}
+	if runErr != nil {
+		rec.job.Error = runErr.Error()
+	}
+	close(rec.done)
+}
+
+// Sweep evicts finished jobs older than the TTL and reports how many were
+// removed. Create/Get/List also sweep opportunistically.
+func (s *Store) Sweep() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictLocked()
+}
+
+func (s *Store) evictLocked() int {
+	cutoff := s.now().Add(-s.ttl)
+	n := 0
+	for id, rec := range s.jobs {
+		if rec.job.State.Terminal() && rec.job.FinishedAt.Before(cutoff) {
+			delete(s.jobs, id)
+			n++
+		}
+	}
+	return n
+}
+
+// CountByState tallies live jobs per lifecycle state (for /metrics).
+func (s *Store) CountByState() map[State]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[State]int)
+	for _, rec := range s.jobs {
+		out[rec.job.State]++
+	}
+	return out
+}
