@@ -17,7 +17,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full benchmark sweep (quick-mode experiment regeneration plus the
+# micro-benchmarks of every package), archived under results/ so runs are
+# comparable across commits.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	@mkdir -p results
+	$(GO) test -bench . -benchmem -count=1 -run '^$$' ./... | tee results/bench.txt
 
 ci: build vet race

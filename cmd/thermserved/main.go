@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	thermserved [-addr :8080] [-workers N] [-ttl 1h]
+//	thermserved [-addr :8080] [-workers N] [-ttl 1h] [-log-level info] [-debug-addr :6060]
 //
 // Endpoints:
 //
@@ -12,9 +12,14 @@
 //	GET    /v1/jobs             list live jobs
 //	GET    /v1/jobs/{id}        status + progress
 //	GET    /v1/jobs/{id}/result rows as JSON
+//	GET    /v1/jobs/{id}/events RL decision trace as JSONL
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             liveness
-//	GET    /metrics             plain-text counters
+//	GET    /metrics             Prometheus text exposition
+//
+// -debug-addr mounts net/http/pprof on a separate listener (never on the
+// public address). -log-level debug additionally logs every RL decision
+// epoch and every HTTP request.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
 // requests drain, then the pool cancels and finalizes running jobs.
@@ -25,25 +30,37 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker count (0 = number of CPUs)")
 	ttl := flag.Duration("ttl", service.DefaultTTL, "how long finished jobs stay queryable")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-addr :8080] [-workers N] [-ttl 1h]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-addr :8080] [-workers N] [-ttl 1h] [-log-level info] [-debug-addr :6060]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermserved:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(telemetry.NewLogger(os.Stderr, level))
+	log := telemetry.Component("thermserved")
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -51,6 +68,17 @@ func main() {
 	store := service.NewStore(*ttl)
 	pool := service.NewPool(store, *workers)
 	pool.Start()
+
+	if *debugAddr != "" {
+		// http.DefaultServeMux carries the pprof handlers registered by the
+		// blank import; nothing else is ever registered on it here.
+		go func() {
+			log.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
 
 	// Periodic eviction keeps memory bounded even when nobody polls.
 	go func() {
@@ -62,7 +90,7 @@ func main() {
 				return
 			case <-tick.C:
 				if n := store.Sweep(); n > 0 {
-					log.Printf("evicted %d finished jobs", n)
+					log.Info("evicted finished jobs", "count", n)
 				}
 			}
 		}
@@ -71,22 +99,23 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(store, pool)}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("thermserved listening on %s (%d workers)", *addr, pool.Workers())
+		log.Info("listening", "addr", *addr, "workers", pool.Workers())
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		pool.Stop()
-		log.Fatal(err)
+		log.Error("server failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Print("shutting down")
+	log.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("http shutdown: %v", err)
+		log.Warn("http shutdown", "err", err)
 	}
 	pool.Stop()
 }

@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	thermsim [-quick] [-repeats N] <experiment>...
+//	thermsim [-quick] [-repeats N] [-events trace.jsonl] <experiment>...
 //	thermsim -list
 //	thermsim all
 //
 // Experiments: fig1, table2, fig3, fig45, fig6, fig7, fig8, table3, fig9,
 // plus the repository's ablation, seeds (RL-seed robustness) and manycore
 // (scalability) studies. -json emits machine-readable rows.
+//
+// -events FILE dumps the RL controller's decision trace (one JSON event per
+// epoch: state bin, action, reward, q_reset/snapshot_restore markers) to
+// FILE after the experiments finish; "-" writes to stderr so it composes
+// with -json on stdout. -log-level debug logs every decision epoch live.
 package main
 
 import (
@@ -17,12 +22,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -30,12 +38,21 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON rows instead of tables")
 	repeats := flag.Int("repeats", 0, "seed repeats for learning-sensitive sweeps (0 = default)")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	eventsOut := flag.String("events", "", "write the RL decision-event trace as JSONL to this file (\"-\" = stderr)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-quick] [-repeats N] <experiment>...|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-quick] [-repeats N] [-events FILE] <experiment>...|all\n", os.Args[0])
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.ExperimentNames())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(telemetry.NewLogger(os.Stderr, level))
 
 	if *list {
 		for _, id := range experiments.ExperimentNames() {
@@ -55,6 +72,12 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	cfg.Quick = *quick
 	cfg.Repeats = *repeats
+
+	var recorder *telemetry.Recorder
+	if *eventsOut != "" {
+		recorder = telemetry.NewRecorder(0)
+		cfg.Run.Recorder = recorder
+	}
 
 	// Campaign-shaped experiments abort between cells on ^C instead of
 	// finishing a potentially hour-long sweep.
@@ -77,6 +100,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "thermsim:", err)
 			os.Exit(1)
 		}
+		dumpEvents(recorder, *eventsOut)
 		return
 	}
 
@@ -88,5 +112,33 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("=== %s (completed in %v) ===\n%s\n", id, time.Since(start).Round(time.Millisecond), out)
+	}
+	dumpEvents(recorder, *eventsOut)
+}
+
+// dumpEvents writes the recorded decision trace as JSONL to path ("-" means
+// stderr, keeping stdout clean for -json rows).
+func dumpEvents(rec *telemetry.Recorder, path string) {
+	if rec == nil {
+		return
+	}
+	var w io.Writer
+	if path == "-" {
+		w = os.Stderr
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thermsim: events:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.WriteJSONL(w); err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim: events:", err)
+		os.Exit(1)
+	}
+	if n := rec.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "thermsim: events: ring buffer dropped the oldest %d events (kept %d)\n", n, rec.Len())
 	}
 }

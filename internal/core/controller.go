@@ -2,15 +2,18 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"strings"
 
 	"repro/internal/platform"
 	"repro/internal/reliability"
 	"repro/internal/rl"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -185,6 +188,10 @@ type Controller struct {
 
 	history       []EpochRecord
 	recordHistory bool
+	// recorder, when attached, receives one telemetry.DecisionEvent per
+	// epoch (the observable trace of the paper's re-learning behaviour).
+	recorder *telemetry.Recorder
+	log      *slog.Logger
 }
 
 // New creates a controller attached to a platform. The platform should be
@@ -217,6 +224,7 @@ func New(cfg Config, p *platform.Platform) (*Controller, error) {
 		maStress:       trace.NewMovingAverage(cfg.MAWindow),
 		maAging:        trace.NewMovingAverage(cfg.MAWindow),
 		acMA:           trace.NewMovingAverage(3),
+		log:            telemetry.Component("core"),
 	}
 	for i := range c.rec {
 		c.rec[i] = make([]float64, 0, cfg.EpochSamples)
@@ -303,6 +311,11 @@ func (c *Controller) LoadState(r io.Reader) error {
 
 // RecordHistory enables per-epoch record keeping (used by experiments).
 func (c *Controller) RecordHistory(on bool) { c.recordHistory = on }
+
+// AttachRecorder streams one decision event per epoch into r (nil detaches).
+// The recorder is bounded, so attaching costs O(capacity) memory however
+// long the run.
+func (c *Controller) AttachRecorder(r *telemetry.Recorder) { c.recorder = r }
 
 // History returns the recorded epochs (empty unless RecordHistory(true)).
 func (c *Controller) History() []EpochRecord { return c.history }
@@ -470,6 +483,26 @@ func (c *Controller) endEpoch() {
 			Event:     event,
 		})
 	}
+	if c.recorder != nil {
+		kind, switched := eventKind(event)
+		c.recorder.Record(telemetry.DecisionEvent{
+			Epoch:          c.localEpochs,
+			TimeS:          now,
+			Workload:       c.p.Workload().Name(),
+			State:          state,
+			Action:         action,
+			Reward:         reward,
+			Alpha:          c.agent.Alpha(),
+			Kind:           kind,
+			SwitchDetected: switched,
+		})
+	}
+	if c.log.Enabled(context.Background(), slog.LevelDebug) {
+		c.log.Debug("epoch",
+			"epoch", c.localEpochs, "t", now, "workload", c.p.Workload().Name(),
+			"state", state, "action", action, "reward", reward,
+			"alpha", c.agent.Alpha(), "phase", c.agent.Phase().String(), "event", event)
+	}
 
 	if c.cfg.AdaptiveSampling {
 		c.retuneSampling()
@@ -502,6 +535,26 @@ func (c *Controller) retuneSampling() {
 	c.acMA.Reset() // re-measure at the new interval before moving again
 	// Preserve the decision-epoch duration.
 	c.epochSamples = int(math.Max(2, math.Round(epochS/c.samplingS)))
+}
+
+// eventKind maps the controller's internal variation-event strings onto the
+// telemetry event vocabulary, flagging the epochs where the workload
+// variation detector fired.
+func eventKind(event string) (kind string, switchDetected bool) {
+	switch event {
+	case "inter":
+		return telemetry.EventQReset, true
+	case "intra":
+		return telemetry.EventSnapshotRestore, true
+	case "adopt":
+		return telemetry.EventAdopt, true
+	case "adopt-confirmed":
+		return telemetry.EventAdoptConfirmed, false
+	case "adopt-reverted":
+		return telemetry.EventAdoptReverted, false
+	default:
+		return telemetry.EventDecision, false
+	}
 }
 
 func (c *Controller) trackVisit(state, action int) {

@@ -196,6 +196,7 @@ type Agent struct {
 
 // NewAgent builds a fresh agent with alpha = 1 (full exploration).
 func NewAgent(cfg AgentConfig) *Agent {
+	initMetrics()
 	return &Agent{
 		cfg:   cfg,
 		q:     NewQTable(cfg.NumStates, cfg.NumActions),
@@ -247,8 +248,10 @@ func (a *Agent) SelectAction(state int) int {
 // margin. Pass prevAction = -1 to disable stickiness for this call.
 func (a *Agent) SelectActionSticky(state, prevAction int) int {
 	if a.rng.Float64() < a.alpha {
+		mActionsExplore.Inc()
 		return a.rng.Intn(a.cfg.NumActions)
 	}
+	mActionsGreedy.Inc()
 	best := a.q.BestAction(state)
 	if prevAction >= 0 && prevAction < a.cfg.NumActions && prevAction != best &&
 		a.q.Get(state, prevAction) >= a.q.Get(state, best)-a.cfg.Hysteresis {
@@ -260,12 +263,14 @@ func (a *Agent) SelectActionSticky(state, prevAction int) int {
 // Observe applies the Eq. 7 update for the transition
 // (prevState, action) -> reward, newState using the current learning rate.
 func (a *Agent) Observe(prevState, action int, reward float64, newState int) {
+	mReward.Observe(reward)
 	a.q.Update(prevState, action, reward, a.alpha, a.cfg.Gamma, newState)
 }
 
 // ObserveSARSA applies the on-policy update using the action selected in the
 // new state (see QTable.UpdateSARSA).
 func (a *Agent) ObserveSARSA(prevState, action int, reward float64, newState, newAction int) {
+	mReward.Observe(reward)
 	a.q.UpdateSARSA(prevState, action, reward, a.alpha, a.cfg.Gamma, newState, newAction)
 }
 
@@ -275,6 +280,8 @@ func (a *Agent) ObserveSARSA(prevState, action int, reward float64, newState, ne
 func (a *Agent) EndEpoch() {
 	a.epochs++
 	a.alpha *= a.cfg.AlphaDecay
+	mEpochs.Inc()
+	mAlpha.Set(a.alpha)
 	if !a.snapTaken && a.alpha < a.cfg.ExploreThreshold {
 		a.snap = a.q.Clone()
 		a.snapTaken = true
@@ -290,6 +297,7 @@ func (a *Agent) Relearn() {
 	a.snapTaken = false
 	a.snap = nil
 	a.relearns++
+	mQResets.Inc()
 }
 
 // RestoreSnapshot reloads the Q values captured at the end of the
@@ -302,6 +310,7 @@ func (a *Agent) RestoreSnapshot() {
 	}
 	a.alpha = a.cfg.AlphaExp
 	a.restores++
+	mRestores.Inc()
 }
 
 // AdoptTable replaces the live Q-table with a copy of t and sets the
@@ -311,6 +320,7 @@ func (a *Agent) AdoptTable(t *QTable, alpha float64) {
 	a.q.CopyFrom(t)
 	a.alpha = alpha
 	a.adoptions++
+	mAdoptions.Inc()
 }
 
 // Adoptions returns how many times a stored policy was adopted via

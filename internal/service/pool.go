@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 // Planner decomposes a campaign into independently runnable cells. The
@@ -37,6 +40,15 @@ type Pool struct {
 	cellsDone     atomic.Int64
 	cellsFailed   atomic.Int64
 	jobsSubmitted atomic.Int64
+	// queued counts cells accepted but not yet picked up by a worker.
+	queued atomic.Int64
+
+	// reg is the pool-owned metrics registry; the HTTP server adds its own
+	// request metrics to it and exposes it on /metrics.
+	reg      *telemetry.Registry
+	cellWait *telemetry.Histogram
+	cellRun  *telemetry.Histogram
+	log      *slog.Logger
 }
 
 // jobRun is the pool-side state shared by one job's cells.
@@ -45,6 +57,8 @@ type jobRun struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 	assemble experiments.Assemble
+	// submittedAt anchors the per-cell queue wait-time measurement.
+	submittedAt time.Time
 
 	mu        sync.Mutex
 	rows      []any
@@ -68,15 +82,23 @@ func NewPool(store *Store, workers int) *Pool {
 		workers = runtime.NumCPU()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Pool{
+	p := &Pool{
 		store:   store,
 		workers: workers,
 		plan:    experiments.Cells,
 		tasks:   make(chan task),
 		ctx:     ctx,
 		cancel:  cancel,
+		reg:     telemetry.NewRegistry(),
+		log:     telemetry.Component("pool"),
 	}
+	p.registerMetrics()
+	return p
 }
+
+// Registry returns the pool-owned metrics registry (job, cell and worker
+// metrics; the HTTP layer adds its request metrics to the same registry).
+func (p *Pool) Registry() *telemetry.Registry { return p.reg }
 
 // Start launches the workers.
 func (p *Pool) Start() {
@@ -95,30 +117,39 @@ func (p *Pool) Stop() {
 }
 
 // Submit validates spec, plans its cells and enqueues them, returning the
-// pending job snapshot immediately.
+// pending job snapshot immediately. Every job gets a bounded decision-event
+// recorder threaded through the simulation config, so the RL controller's
+// per-epoch trace is queryable while and after the job runs.
 func (p *Pool) Submit(spec Spec) (Job, error) {
 	if err := spec.Validate(); err != nil {
 		return Job{}, err
 	}
-	cells, assemble, err := p.plan(spec.Config(), spec.Experiment)
+	cfg := spec.Config()
+	rec := telemetry.NewRecorder(0)
+	cfg.Run.Recorder = rec
+	cells, assemble, err := p.plan(cfg, spec.Experiment)
 	if err != nil {
 		return Job{}, err
 	}
 	job := p.store.Create(spec, len(cells))
+	p.store.BindRecorder(job.ID, rec)
 	jctx, jcancel := context.WithCancel(p.ctx)
 	p.store.BindCancel(job.ID, jcancel)
 	jr := &jobRun{
-		id:        job.ID,
-		ctx:       jctx,
-		cancel:    jcancel,
-		assemble:  assemble,
-		rows:      make([]any, len(cells)),
-		errs:      make([]error, len(cells)),
-		remaining: len(cells),
+		id:          job.ID,
+		ctx:         jctx,
+		cancel:      jcancel,
+		assemble:    assemble,
+		submittedAt: time.Now(),
+		rows:        make([]any, len(cells)),
+		errs:        make([]error, len(cells)),
+		remaining:   len(cells),
 	}
 	p.jobsSubmitted.Add(1)
+	p.queued.Add(int64(len(cells)))
 	p.feederWG.Add(1)
 	go p.feed(jr, cells)
+	p.log.Info("job submitted", "job", job.ID, "experiment", spec.Experiment, "cells", len(cells), "quick", spec.Quick)
 	return job, nil
 }
 
@@ -149,7 +180,10 @@ func (p *Pool) feed(jr *jobRun, cells []experiments.Cell) {
 	for i := range cells {
 		select {
 		case <-jr.ctx.Done():
+			// The unfed remainder never reaches a worker; drain it from the
+			// queue-depth gauge as it is accounted.
 			for j := i; j < len(cells); j++ {
+				p.queued.Add(-1)
 				p.finishCell(jr, j, nil, jr.ctx.Err(), true)
 			}
 			return
@@ -173,6 +207,8 @@ func (p *Pool) worker() {
 
 // runTask executes one cell with panic recovery and accounts the outcome.
 func (p *Pool) runTask(t task) {
+	p.queued.Add(-1)
+	p.cellWait.Observe(time.Since(t.jr.submittedAt).Seconds())
 	t.jr.startOnce.Do(func() {
 		// A job racing its own cancellation may no longer start; its cells
 		// are then skipped through the context check below.
@@ -183,11 +219,16 @@ func (p *Pool) runTask(t task) {
 		return
 	}
 	p.busy.Add(1)
+	start := time.Now()
 	row, err := runCell(t.jr.ctx, t.cell)
+	p.cellRun.Observe(time.Since(start).Seconds())
 	p.busy.Add(-1)
 	// An error caused by the job's own cancellation is a skip, not a
 	// failure: the job finalizes as cancelled either way.
 	skipped := err != nil && t.jr.ctx.Err() != nil
+	if err != nil && !skipped {
+		p.log.Warn("cell failed", "cell", t.cell.Key, "job", t.jr.id, "err", err)
+	}
 	p.finishCell(t.jr, t.idx, row, err, skipped)
 }
 
@@ -241,6 +282,10 @@ func (p *Pool) finalize(jr *jobRun) {
 	rows := jr.assemble(jr.rows)
 	err := errors.Join(jr.errs...)
 	p.store.Finish(jr.id, rows, err, jr.ctx.Err() != nil)
+	if job, ok := p.store.Get(jr.id); ok {
+		p.log.Info("job finished", "job", jr.id, "state", string(job.State),
+			"done", job.Progress.DoneCells, "failed", job.Progress.FailedCells, "wall_s", job.WallClockS)
+	}
 }
 
 // Workers is the configured worker count.

@@ -3,7 +3,12 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Server exposes the job subsystem over HTTP:
@@ -12,31 +17,81 @@ import (
 //	GET    /v1/jobs             list live jobs
 //	GET    /v1/jobs/{id}        status and progress
 //	GET    /v1/jobs/{id}/result assembled rows of a finished job
+//	GET    /v1/jobs/{id}/events RL decision-event trace as JSONL
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             liveness
-//	GET    /metrics             plain-text counters
+//	GET    /metrics             Prometheus text exposition
+//
+// Every route is instrumented: request counts by (route, method, code),
+// latency histograms per route and an in-flight gauge, all registered in
+// the pool's registry. /metrics merges that registry with the process-wide
+// default one (simulation and RL metrics).
 type Server struct {
-	store *Store
-	pool  *Pool
-	mux   *http.ServeMux
+	store    *Store
+	pool     *Pool
+	mux      *http.ServeMux
+	reg      *telemetry.Registry
+	inFlight *telemetry.Gauge
+	log      *slog.Logger
 }
 
 // NewServer wires the handlers over one store/pool pair.
 func NewServer(store *Store, pool *Pool) *Server {
-	s := &Server{store: store, pool: pool, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s := &Server{
+		store: store,
+		pool:  pool,
+		mux:   http.NewServeMux(),
+		reg:   pool.Registry(),
+		log:   telemetry.Component("server"),
+	}
+	s.inFlight = s.reg.Gauge("thermserved_http_in_flight", "HTTP requests currently being served.")
+	s.handle("POST /v1/jobs", "/v1/jobs", s.handleSubmit)
+	s.handle("GET /v1/jobs", "/v1/jobs", s.handleList)
+	s.handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleGet)
+	s.handle("GET /v1/jobs/{id}/result", "/v1/jobs/{id}/result", s.handleResult)
+	s.handle("GET /v1/jobs/{id}/events", "/v1/jobs/{id}/events", s.handleEvents)
+	s.handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.handleCancel)
+	s.handle("GET /healthz", "/healthz", s.handleHealthz)
+	metrics := telemetry.Handler(s.reg, telemetry.Default())
+	s.handle("GET /metrics", "/metrics", func(w http.ResponseWriter, r *http.Request) {
+		metrics.ServeHTTP(w, r)
+	})
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// handle registers pattern with request instrumentation. route is the
+// pattern's path with placeholders kept literal ({id}), bounding the label
+// cardinality.
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start).Seconds()
+		s.reg.Counter("thermserved_http_requests_total", "HTTP requests by route, method and status code.",
+			telemetry.L("route", route), telemetry.L("method", r.Method), telemetry.L("code", strconv.Itoa(sw.code))).Inc()
+		s.reg.Histogram("thermserved_http_request_seconds", "HTTP request latency by route.",
+			telemetry.DefBuckets, telemetry.L("route", route)).Observe(elapsed)
+		s.log.Debug("request", "method", r.Method, "route", route, "code", sw.code, "seconds", elapsed)
+	})
+}
+
+// statusWriter captures the response code for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // writeJSON emits v with the given status.
@@ -107,6 +162,25 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleEvents streams the job's RL decision trace as JSONL (one event per
+// line), readable while the job is still running. Jobs whose cells run no
+// RL controller produce an empty body.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.store.EventsRecorder(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s", id)
+		return
+	}
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "job %s has no decision-event recorder", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// The write only fails when the client went away; nothing left to do.
+	_ = rec.WriteJSONL(w)
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	job, err := s.store.Cancel(r.PathValue("id"))
 	if err != nil {
@@ -119,19 +193,4 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
-}
-
-// handleMetrics emits plain-text counters in Prometheus exposition style
-// (no client dependency): jobs by state, cell totals, worker utilization.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	byState := s.store.CountByState()
-	for _, st := range []State{StatePending, StateRunning, StateDone, StateFailed, StateCancelled} {
-		fmt.Fprintf(w, "thermserved_jobs{state=%q} %d\n", st, byState[st])
-	}
-	fmt.Fprintf(w, "thermserved_jobs_submitted_total %d\n", s.pool.JobsSubmitted())
-	fmt.Fprintf(w, "thermserved_cells_completed_total %d\n", s.pool.CellsCompleted())
-	fmt.Fprintf(w, "thermserved_cells_failed_total %d\n", s.pool.CellsFailed())
-	fmt.Fprintf(w, "thermserved_workers %d\n", s.pool.Workers())
-	fmt.Fprintf(w, "thermserved_workers_busy %d\n", s.pool.BusyWorkers())
 }

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // DefaultTTL is how long finished jobs stay queryable before eviction.
@@ -21,6 +23,9 @@ type record struct {
 	// cancelRequested remembers a DELETE while the job was still running,
 	// so the finalizer lands on cancelled rather than failed.
 	cancelRequested bool
+	// events is the job's bounded decision-event recorder; bound by the
+	// pool at submission, drained by the events endpoint.
+	events *telemetry.Recorder
 	// done is closed on the transition into a terminal state.
 	done chan struct{}
 }
@@ -121,6 +126,27 @@ func (s *Store) BindCancel(id string, cancel context.CancelFunc) {
 	if rec, ok := s.jobs[id]; ok {
 		rec.cancel = cancel
 	}
+}
+
+// BindRecorder attaches the job's decision-event recorder.
+func (s *Store) BindRecorder(id string, events *telemetry.Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.jobs[id]; ok {
+		rec.events = events
+	}
+}
+
+// EventsRecorder returns the job's decision-event recorder (nil when none
+// was bound; the recorder itself is safe to read while the job runs).
+func (s *Store) EventsRecorder(id string) (*telemetry.Recorder, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return rec.events, true
 }
 
 // Start transitions pending → running. It fails on jobs already cancelled,

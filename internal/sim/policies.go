@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/governor"
 	"repro/internal/platform"
+	"repro/internal/telemetry"
 )
 
 // LinuxPolicy runs the platform under a plain cpufreq governor with default
@@ -86,6 +87,7 @@ type ProposedPolicy struct {
 	History bool
 
 	ctl *core.Controller
+	rec *telemetry.Recorder
 }
 
 // Name returns "proposed".
@@ -102,8 +104,20 @@ func (pp *ProposedPolicy) Attach(p *platform.Platform) error {
 		return err
 	}
 	ctl.RecordHistory(pp.History)
+	if pp.rec != nil {
+		ctl.AttachRecorder(pp.rec)
+	}
 	pp.ctl = ctl
 	return nil
+}
+
+// AttachRecorder streams the controller's per-epoch decision events into r.
+// Safe to call before or after Attach.
+func (pp *ProposedPolicy) AttachRecorder(r *telemetry.Recorder) {
+	pp.rec = r
+	if pp.ctl != nil {
+		pp.ctl.AttachRecorder(r)
+	}
 }
 
 // Tick drives the controller.

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/platform"
 	"repro/internal/reliability"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -45,6 +46,10 @@ type RunConfig struct {
 	// MTTF computation.
 	Cycling reliability.CyclingParams
 	Aging   reliability.AgingParams
+	// Recorder, when non-nil, is attached to policies that support decision
+	// tracing (the RL controller), collecting one event per decision epoch
+	// into a bounded ring buffer.
+	Recorder *telemetry.Recorder
 }
 
 // DefaultRunConfig returns the standard configuration.
@@ -89,19 +94,32 @@ type Result struct {
 	AppSwitches int
 }
 
+// RecorderAttacher is implemented by policies that can stream per-epoch
+// decision events into a telemetry recorder (the proposed RL controller).
+type RecorderAttacher interface {
+	AttachRecorder(*telemetry.Recorder)
+}
+
 // Run executes the workload under the policy until completion (or MaxSimS)
 // and returns the collected metrics.
 func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) {
 	if cfg.RecordIntervalS <= 0 {
 		return nil, fmt.Errorf("sim: RecordIntervalS must be positive, got %g", cfg.RecordIntervalS)
 	}
+	initSimMetrics()
 	p := platform.New(cfg.Platform, work)
 	if err := policy.Attach(p); err != nil {
 		return nil, fmt.Errorf("sim: attach %s: %w", policy.Name(), err)
 	}
+	if cfg.Recorder != nil {
+		if ra, ok := policy.(RecorderAttacher); ok {
+			ra.AttachRecorder(cfg.Recorder)
+		}
+	}
 	mt := trace.NewMultiTrace(p.NumCores(), cfg.RecordIntervalS)
 	pt := trace.NewMultiTrace(p.NumCores(), cfg.RecordIntervalS)
 	nextRecord := 0.0
+	steps := int64(0)
 	for !p.Done() {
 		if p.Now() >= cfg.MaxSimS {
 			return nil, fmt.Errorf("sim: %s on %s exceeded max sim time %g s (completed %.1f%% of work)",
@@ -114,7 +132,9 @@ func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) 
 		}
 		p.Step()
 		policy.Tick(p)
+		steps++
 	}
+	mSteps.Add(steps)
 	return collect(cfg, p, mt, pt, policy.Name(), work.Name()), nil
 }
 
@@ -138,6 +158,13 @@ func collect(cfg RunConfig, p *platform.Platform, mt, pt *trace.MultiTrace, poli
 	}
 	res.CyclingMTTF, res.AgingMTTF = ChipMTTF(cfg, warm)
 	res.CombinedMTTF = reliability.CombinedMTTF(res.CyclingMTTF, res.AgingMTTF)
+
+	mRuns.Inc()
+	mSimSeconds.Add(int64(res.ExecTimeS))
+	mAppSwitches.Add(int64(res.AppSwitches))
+	mCycles.Add(countThermalCycles(warm))
+	mPeakTemp.Observe(res.PeakTempC)
+	mAvgTemp.Observe(res.AvgTempC)
 	return res
 }
 

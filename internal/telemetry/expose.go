@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format version emitted by
+// WritePrometheus and Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every metric of the given registries in the
+// Prometheus text format. Families are sorted by name and series by label
+// set, so the output is deterministic; families sharing a name across
+// registries are merged under one HELP/TYPE header.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	type gathered struct {
+		fam    *family
+		series []*series
+	}
+	for _, r := range regs {
+		r.runHooks()
+	}
+	merged := make(map[string]*gathered)
+	var names []string
+	for _, r := range regs {
+		r.mu.Lock()
+		for name, fam := range r.families {
+			g, ok := merged[name]
+			if !ok {
+				g = &gathered{fam: fam}
+				merged[name] = g
+				names = append(names, name)
+			}
+			for _, s := range fam.series {
+				g.series = append(g.series, s)
+			}
+		}
+		r.mu.Unlock()
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		g := merged[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(g.fam.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, g.fam.kind)
+		sort.Slice(g.series, func(i, j int) bool { return g.series[i].labels < g.series[j].labels })
+		for _, s := range g.series {
+			writeSeries(bw, name, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w *bufio.Writer, name string, s *series) {
+	switch {
+	case s.c != nil:
+		fmt.Fprintf(w, "%s%s %d\n", name, s.labels, s.c.Value())
+	case s.g != nil:
+		fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatFloat(s.g.Value()))
+	case s.fn != nil:
+		fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatFloat(s.fn()))
+	case s.h != nil:
+		snap := s.h.Snapshot()
+		for i, b := range snap.Bounds {
+			fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(s.labels, formatFloat(b)), snap.Cumulative[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(s.labels, "+Inf"), snap.Count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(snap.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, snap.Count)
+	}
+}
+
+// withLE merges the le label into an already-rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return strings.TrimSuffix(labels, "}") + `,le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+// Handler serves the merged exposition of the given registries with the
+// Prometheus content type. With no arguments it serves Default().
+func Handler(regs ...*Registry) http.Handler {
+	if len(regs) == 0 {
+		regs = []*Registry{Default()}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		// The write only fails when the client went away; nothing to do.
+		_ = WritePrometheus(w, regs...)
+	})
+}

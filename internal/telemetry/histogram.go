@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with lock-free observation. Buckets
+// follow Prometheus `le` semantics: an observation v lands in the first
+// bucket whose upper bound is >= v; values above every bound land in the
+// implicit +Inf bucket.
+//
+// The total count is derived from the per-bucket counts rather than kept as
+// a separate atomic, so a snapshot's Count always equals its +Inf cumulative
+// bucket — the consistency the Prometheus format requires — even when taken
+// mid-write.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64  // float64 bits, CAS-added
+}
+
+// newHistogram validates the bounds (strictly ascending, finite, non-empty)
+// and builds the histogram.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	for i, b := range own {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("telemetry: histogram bound %d is not finite: %g", i, b))
+		}
+		if i > 0 && b <= own[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending at %d: %g <= %g", i, b, own[i-1]))
+		}
+	}
+	return &Histogram{bounds: own, buckets: make([]atomic.Int64, len(own)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, or len (+Inf)
+	h.buckets[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistogramSnapshot is a point-in-time view of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the configured upper bounds (without +Inf).
+	Bounds []float64
+	// Cumulative[i] counts observations <= Bounds[i]; the final extra entry
+	// is the +Inf bucket, equal to Count.
+	Cumulative []int64
+	// Count is the total observation count and Sum the value sum. During
+	// concurrent writes Count is consistent with Cumulative (both derive
+	// from the same bucket reads); Sum may trail by in-flight observations.
+	Count int64
+	Sum   float64
+}
+
+// Snapshot captures the histogram state. Safe to call while writers are
+// observing; the cumulative counts are monotone within one snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]int64, len(h.buckets)),
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		snap.Cumulative[i] = cum
+	}
+	snap.Count = cum
+	snap.Sum = h.Sum()
+	return snap
+}
+
+// DefBuckets are general-purpose latency buckets in seconds (the Prometheus
+// client defaults).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// LinearBuckets returns count bounds starting at start, spaced by width.
+func LinearBuckets(start, width float64, count int) []float64 {
+	if count < 1 {
+		panic("telemetry: LinearBuckets needs count >= 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns count bounds starting at start, each factor
+// times the previous.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if count < 1 || start <= 0 || factor <= 1 {
+		panic("telemetry: ExponentialBuckets needs count >= 1, start > 0, factor > 1")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

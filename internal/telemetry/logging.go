@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value onto an slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// NewLogger builds a text-format structured logger at the given level,
+// suitable for slog.SetDefault in a binary's main.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Component returns the default logger scoped with a component attribute;
+// packages use it to tag their log lines (pool, server, core, ...).
+func Component(name string) *slog.Logger {
+	return slog.Default().With("component", name)
+}

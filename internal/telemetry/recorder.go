@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+)
+
+// Decision-event kinds. Every decision epoch records one event: a plain
+// decision, or one of the workload-variation handling outcomes of the
+// paper's Section 5.4 (the controller maps its internal event strings onto
+// these).
+const (
+	// EventDecision is a regular epoch: state observed, action applied.
+	EventDecision = "decision"
+	// EventQReset is an inter-application variation: the Q-table was reset
+	// and learning restarted from scratch.
+	EventQReset = "q_reset"
+	// EventSnapshotRestore is an intra-application variation: the
+	// exploration-end snapshot was restored.
+	EventSnapshotRestore = "snapshot_restore"
+	// EventAdopt is an inter-application variation answered from the
+	// signature library (policy adopted instead of re-learned).
+	EventAdopt = "adopt"
+	// EventAdoptConfirmed and EventAdoptReverted resolve a tentative
+	// adoption once the moving averages settle.
+	EventAdoptConfirmed = "adopt_confirmed"
+	EventAdoptReverted  = "adopt_reverted"
+)
+
+// DecisionEvent is one recorded RL decision epoch.
+type DecisionEvent struct {
+	// Epoch is the controller's local epoch index (1-based).
+	Epoch int `json:"epoch"`
+	// TimeS is the simulated time at the end of the epoch, seconds.
+	TimeS float64 `json:"time_s"`
+	// Workload names the running workload (a sequence reports its own name).
+	Workload string `json:"workload,omitempty"`
+	// State and Action are the Q-table indices used this epoch.
+	State  int `json:"state"`
+	Action int `json:"action"`
+	// Reward is the Eq. 8 value granted for the previous action (0 on the
+	// first epoch, which has no previous action).
+	Reward float64 `json:"reward"`
+	// Alpha is the learning rate after the epoch.
+	Alpha float64 `json:"alpha"`
+	// Kind is one of the Event* constants.
+	Kind string `json:"kind"`
+	// SwitchDetected marks epochs where the variation detector fired
+	// (q_reset, snapshot_restore and adopt events).
+	SwitchDetected bool `json:"switch_detected,omitempty"`
+}
+
+// DefaultRecorderCapacity bounds a recorder when the caller passes a
+// non-positive capacity.
+const DefaultRecorderCapacity = 8192
+
+// Recorder is a bounded ring buffer of decision events: once full, new
+// events overwrite the oldest, so the newest N survive. It is safe for
+// concurrent use — several simulation cells of one job may record into the
+// same recorder while an HTTP handler drains it.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []DecisionEvent
+	next    int
+	full    bool
+	dropped int64
+}
+
+// NewRecorder builds a recorder keeping the newest capacity events
+// (DefaultRecorderCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	return &Recorder{buf: make([]DecisionEvent, 0, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full. NaN rewards
+// (no previous action yet) are stored as 0 so the JSONL dump stays valid.
+func (r *Recorder) Record(ev DecisionEvent) {
+	if math.IsNaN(ev.Reward) {
+		ev.Reward = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full && len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.full = true
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Dropped returns how many events were overwritten by wraparound.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []DecisionEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DecisionEvent, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// WriteJSONL writes the retained events as one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	for _, ev := range r.Events() {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
