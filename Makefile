@@ -1,11 +1,17 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build fmt-check vet test race recover-test bench ci
 
 all: ci
 
 build:
 	$(GO) build ./...
+
+# gofmt -l prints offending files; a non-empty list fails the target.
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +23,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Crash-recovery suite under the race detector: WAL torn-tail truncation at
+# every byte offset, kill-and-restart resume, checkpoint warm starts.
+recover-test:
+	$(GO) test -race -run 'TestWAL|TestJournal|TestCheckpoint|TestRecovery|TestCrashRestart|TestJournaled|TestWarmStart' ./internal/durable ./internal/service
+
 # Full benchmark sweep (quick-mode experiment regeneration plus the
 # micro-benchmarks of every package), archived under results/ so runs are
 # comparable across commits.
@@ -24,4 +35,4 @@ bench:
 	@mkdir -p results
 	$(GO) test -bench . -benchmem -count=1 -run '^$$' ./... | tee results/bench.txt
 
-ci: build vet race
+ci: build fmt-check vet race

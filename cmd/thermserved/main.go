@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	thermserved [-addr :8080] [-workers N] [-ttl 1h] [-log-level info] [-debug-addr :6060]
+//	thermserved [-addr :8080] [-workers N] [-ttl 1h] [-data-dir DIR] [-log-level info] [-debug-addr :6060]
 //
 // Endpoints:
 //
@@ -14,15 +14,26 @@
 //	GET    /v1/jobs/{id}/result rows as JSON
 //	GET    /v1/jobs/{id}/events RL decision trace as JSONL
 //	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/checkpoints      Q-table checkpoints (POST/GET/DELETE .../{name})
 //	GET    /healthz             liveness
 //	GET    /metrics             Prometheus text exposition
+//
+// -data-dir makes the job store crash-safe: every lifecycle transition is
+// committed to a WAL under DIR/jobs before it is acknowledged, snapshots
+// bound the WAL, and on startup the journal is replayed — finished jobs
+// become queryable again and interrupted ones resume where their last
+// committed cell left off. DIR/checkpoints stores named Q-table checkpoints
+// for warm_start submissions. An empty -data-dir (the default) keeps the
+// store purely in memory.
 //
 // -debug-addr mounts net/http/pprof on a separate listener (never on the
 // public address). -log-level debug additionally logs every RL decision
 // epoch and every HTTP request.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
-// requests drain, then the pool cancels and finalizes running jobs.
+// requests drain, the pool cancels and finalizes running jobs, and with
+// -data-dir the journal is compacted and closed so the next boot replays a
+// snapshot instead of the raw WAL.
 package main
 
 import (
@@ -35,9 +46,11 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
@@ -46,10 +59,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker count (0 = number of CPUs)")
 	ttl := flag.Duration("ttl", service.DefaultTTL, "how long finished jobs stay queryable")
+	dataDir := flag.String("data-dir", "", "directory for the durable job journal and checkpoints (empty = in-memory only)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-addr :8080] [-workers N] [-ttl 1h] [-log-level info] [-debug-addr :6060]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-addr :8080] [-workers N] [-ttl 1h] [-data-dir DIR] [-log-level info] [-debug-addr :6060]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -67,6 +81,27 @@ func main() {
 
 	store := service.NewStore(*ttl)
 	pool := service.NewPool(store, *workers)
+
+	// With a data dir, attach the journal and checkpoint store and replay
+	// whatever the last process left behind — before the listener opens, so
+	// no client ever observes the pre-recovery state.
+	var journal *durable.Journal
+	if *dataDir != "" {
+		journal, err = durable.OpenJournal(filepath.Join(*dataDir, "jobs"), durable.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thermserved:", err)
+			os.Exit(1)
+		}
+		checkpoints, err := durable.OpenCheckpoints(filepath.Join(*dataDir, "checkpoints"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thermserved:", err)
+			os.Exit(1)
+		}
+		store.SetJournal(journal)
+		pool.SetCheckpoints(checkpoints)
+		restored, resumed := pool.Recover(journal.Recovered())
+		log.Info("durable store attached", "data_dir", *dataDir, "restored_jobs", restored, "resumed_jobs", resumed)
+	}
 	pool.Start()
 
 	if *debugAddr != "" {
@@ -96,6 +131,25 @@ func main() {
 		}
 	}()
 
+	// Periodic compaction bounds WAL growth (and with it, restart replay
+	// time) while the server runs.
+	if journal != nil {
+		go func() {
+			tick := time.NewTicker(time.Minute)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if _, err := journal.CompactIfLarger(0); err != nil {
+						log.Error("journal compaction failed", "err", err)
+					}
+				}
+			}
+		}()
+	}
+
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(store, pool)}
 	errc := make(chan error, 1)
 	go func() {
@@ -118,4 +172,15 @@ func main() {
 		log.Warn("http shutdown", "err", err)
 	}
 	pool.Stop()
+	if journal != nil {
+		// The pool has finalized every job, so compacting now folds those
+		// terminal states into the snapshot and the next boot replays an
+		// empty WAL.
+		if err := journal.Compact(); err != nil {
+			log.Error("final journal compaction failed", "err", err)
+		}
+		if err := journal.Close(); err != nil {
+			log.Error("journal close failed", "err", err)
+		}
+	}
 }

@@ -15,6 +15,11 @@
 // epoch: state bin, action, reward, q_reset/snapshot_restore markers) to
 // FILE after the experiments finish; "-" writes to stderr so it composes
 // with -json on stdout. -log-level debug logs every decision epoch live.
+//
+// -save-agent FILE persists the RL agent's learned state (live Q-table,
+// exploration-end snapshot, learning rate) from the last proposed-policy
+// run; -load-agent FILE warm-starts every proposed-policy run from such a
+// file instead of a zero Q-table.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/rl"
 	"repro/internal/telemetry"
 )
 
@@ -40,6 +46,8 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	eventsOut := flag.String("events", "", "write the RL decision-event trace as JSONL to this file (\"-\" = stderr)")
+	saveAgent := flag.String("save-agent", "", "write the RL agent state of the last proposed-policy run to this file")
+	loadAgent := flag.String("load-agent", "", "warm-start proposed-policy runs from RL agent state in this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-quick] [-repeats N] [-events FILE] <experiment>...|all\n", os.Args[0])
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.ExperimentNames())
@@ -79,6 +87,19 @@ func main() {
 		cfg.Run.Recorder = recorder
 	}
 
+	if *loadAgent != "" {
+		sa, err := loadAgentFile(*loadAgent)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thermsim:", err)
+			os.Exit(1)
+		}
+		cfg.WarmStart = sa.WarmTable()
+	}
+	var lastAgent *rl.Agent
+	if *saveAgent != "" {
+		cfg.Run.AgentObserver = func(a *rl.Agent) { lastAgent = a }
+	}
+
 	// Campaign-shaped experiments abort between cells on ^C instead of
 	// finishing a potentially hour-long sweep.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -101,6 +122,7 @@ func main() {
 			os.Exit(1)
 		}
 		dumpEvents(recorder, *eventsOut)
+		saveAgentFile(lastAgent, *saveAgent)
 		return
 	}
 
@@ -114,6 +136,44 @@ func main() {
 		fmt.Printf("=== %s (completed in %v) ===\n%s\n", id, time.Since(start).Round(time.Millisecond), out)
 	}
 	dumpEvents(recorder, *eventsOut)
+	saveAgentFile(lastAgent, *saveAgent)
+}
+
+// loadAgentFile parses saved RL agent state for -load-agent.
+func loadAgentFile(path string) (*rl.SavedAgent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rl.DecodeAgent(f)
+}
+
+// saveAgentFile persists the last proposed-policy run's agent for
+// -save-agent. A run list with no proposed-policy run leaves nothing to
+// save; that is reported as an error so scripts notice.
+func saveAgentFile(a *rl.Agent, path string) {
+	if path == "" {
+		return
+	}
+	if a == nil {
+		fmt.Fprintln(os.Stderr, "thermsim: -save-agent: no proposed-policy run produced an agent")
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim: -save-agent:", err)
+		os.Exit(1)
+	}
+	if err := a.Save(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "thermsim: -save-agent:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim: -save-agent:", err)
+		os.Exit(1)
+	}
 }
 
 // dumpEvents writes the recorded decision trace as JSONL to path ("-" means

@@ -91,6 +91,15 @@ type Config struct {
 	// temperature windows into stress/aging state variables.
 	Cycling reliability.CyclingParams
 	Aging   reliability.AgingParams
+	// WarmStart, when non-nil, seeds the agent from a previously learned
+	// Q-table (via rl.Agent.AdoptTable) instead of starting from zeros,
+	// so a restarted deployment resumes its accumulated policy. The table
+	// dimensions must match the configured state/action space.
+	WarmStart *rl.QTable
+	// WarmStartAlpha is the learning rate installed alongside an adopted
+	// table; <= 0 selects Agent.AlphaExp (moderate re-learning, the same
+	// rate an intra-application restore resumes at).
+	WarmStartAlpha float64
 }
 
 // DefaultConfig returns the tuned controller configuration: 3 s sampling,
@@ -176,6 +185,10 @@ type Controller struct {
 	// localEpochs counts decision epochs of THIS run (unlike
 	// agent.Epochs(), which survives SaveState/LoadState).
 	localEpochs int
+	// warmStarted marks an agent seeded from a persisted checkpoint, so
+	// the first recorded epoch carries the warm_start event kind (the
+	// observable proof a resumed deployment kept its policy).
+	warmStarted bool
 	// library holds learned per-application policies (nil unless
 	// UseSignatureLibrary). On an inter-application switch a candidate
 	// policy is adopted immediately and verified once the moving averages
@@ -231,6 +244,18 @@ func New(cfg Config, p *platform.Platform) (*Controller, error) {
 	}
 	if cfg.UseSignatureLibrary {
 		c.library = newSignatureLibrary(cfg.LibraryTolerance, cfg.LibraryCapacity)
+	}
+	if cfg.WarmStart != nil {
+		if cfg.WarmStart.NumStates() != cfg.Agent.NumStates || cfg.WarmStart.NumActions() != cfg.Agent.NumActions {
+			return nil, fmt.Errorf("core: warm-start table is %dx%d, controller configured for %dx%d",
+				cfg.WarmStart.NumStates(), cfg.WarmStart.NumActions(), cfg.Agent.NumStates, cfg.Agent.NumActions)
+		}
+		alpha := cfg.WarmStartAlpha
+		if alpha <= 0 {
+			alpha = cfg.Agent.AlphaExp
+		}
+		c.agent.AdoptTable(cfg.WarmStart, alpha)
+		c.warmStarted = true
 	}
 	return c, nil
 }
@@ -436,6 +461,12 @@ func (c *Controller) endEpoch() {
 		}
 	}
 
+	// A checkpoint-seeded agent flags its first epoch, making the adopted
+	// policy observable in the decision trace.
+	if c.warmStarted && c.localEpochs == 1 && event == "" {
+		event = "warm-start"
+	}
+
 	// Identify the state and grant the reward for the previous action.
 	// Q-learning follows Algorithm 1's order (update the table, then select
 	// greedily from the fresh values); SARSA must select first because its
@@ -552,6 +583,8 @@ func eventKind(event string) (kind string, switchDetected bool) {
 		return telemetry.EventAdoptConfirmed, false
 	case "adopt-reverted":
 		return telemetry.EventAdoptReverted, false
+	case "warm-start":
+		return telemetry.EventWarmStart, false
 	default:
 		return telemetry.EventDecision, false
 	}

@@ -1,0 +1,106 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Checked-file envelope: every snapshot and checkpoint payload is wrapped in
+// a fixed header so a partially written or bit-rotted file is detected on
+// read instead of deserialized into garbage.
+//
+//	offset 0  magic   "TDUR"
+//	offset 4  uint32  format version (little-endian)
+//	offset 8  uint32  payload length
+//	offset 12 uint32  CRC32 (IEEE) of the payload
+//	offset 16 payload
+const (
+	checkedMagic      = "TDUR"
+	checkedVersion    = 1
+	checkedHeaderSize = 16
+)
+
+// writeChecked writes the envelope plus payload to w.
+func writeChecked(w io.Writer, payload []byte) error {
+	var hdr [checkedHeaderSize]byte
+	copy(hdr[0:4], checkedMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], checkedVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readChecked validates the envelope and returns the payload.
+func readChecked(r io.Reader) ([]byte, error) {
+	var hdr [checkedHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if string(hdr[0:4]) != checkedMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != checkedVersion {
+		return nil, fmt.Errorf("durable: unsupported format version %d (want %d)", v, checkedVersion)
+	}
+	length := binary.LittleEndian.Uint32(hdr[8:12])
+	if length > MaxPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds max", ErrCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: short payload", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[12:16]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// writeFileAtomic writes the checked payload to path crash-safely: temp file
+// in the same directory, fsync, rename over the target, fsync the directory.
+// Readers therefore always see either the old complete file or the new one.
+func writeFileAtomic(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("durable: create temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := writeChecked(tmp, payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("durable: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("durable: rename into %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// readCheckedFile reads and validates a checked file.
+func readCheckedFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	payload, err := readChecked(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return payload, nil
+}

@@ -1,0 +1,126 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cs, err := OpenCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"alpha":0.2,"epochs":40,"q":{"states":2,"actions":2,"q":[0,1,2,3]}}`)
+	info, err := cs.Put("trained", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "trained" || info.Size != int64(len(payload)) || len(info.Hash) != 64 {
+		t.Fatalf("info %+v", info)
+	}
+
+	got, gotInfo, err := cs.Get("trained")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) || gotInfo.Hash != info.Hash {
+		t.Error("payload round trip mismatch")
+	}
+
+	// The store survives reopen (index is durable).
+	cs2, err := OpenCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := cs2.Get("trained"); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("reopen lost checkpoint: %v", err)
+	}
+	if list := cs2.List(); len(list) != 1 || list[0].Name != "trained" {
+		t.Errorf("list %+v", list)
+	}
+
+	if err := cs2.Delete("trained"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs2.Get("trained"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("get after delete: %v", err)
+	}
+	if err := cs2.Delete("trained"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestCheckpointContentAddressing(t *testing.T) {
+	cs, err := OpenCheckpoints(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"same":"bytes"}`)
+	a, err := cs.Put("a", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cs.Put("b", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != b.Hash {
+		t.Fatalf("identical payloads hashed differently: %s vs %s", a.Hash, b.Hash)
+	}
+	// Deleting one name keeps the shared blob alive for the other.
+	if err := cs.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := cs.Get("b"); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("shared blob lost after aliased delete: %v", err)
+	}
+	// Rebinding a name to new content garbage-collects the old blob.
+	if _, err := cs.Put("b", []byte(`{"new":"bytes"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cs.blobPath(a.Hash)); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("orphan blob not collected: %v", err)
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	cs, err := OpenCheckpoints(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cs.Put("c", []byte(`{"q":[1,2,3,4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(cs.blobPath(info.Hash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0x01
+	if err := os.WriteFile(cs.blobPath(info.Hash), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs.Get("c"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt blob read succeeded: %v", err)
+	}
+}
+
+func TestCheckpointNameValidation(t *testing.T) {
+	cs, err := OpenCheckpoints(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", ".", "../escape", "a/b", "has space", ".hidden", string(make([]byte, 200))} {
+		if _, err := cs.Put(bad, []byte("x")); err == nil {
+			t.Errorf("name %q accepted", bad)
+		}
+	}
+	for _, good := range []string{"a", "trained-v2", "app_mpeg.dec", "X9"} {
+		if _, err := cs.Put(good, []byte("x")); err != nil {
+			t.Errorf("name %q rejected: %v", good, err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Journal file names inside the data directory.
+const (
+	walFile      = "wal.log"
+	snapshotFile = "snapshot.db"
+)
+
+// DefaultCompactBytes is the WAL size past which CompactIfLarger compacts.
+const DefaultCompactBytes = 4 << 20
+
+// Options parameterizes a Journal. The zero value is the safe default:
+// fsync on every commit.
+type Options struct {
+	// NoSync disables fsync-on-commit. Appends then only reach the OS page
+	// cache; a machine crash can lose the tail (a process crash cannot).
+	NoSync bool
+}
+
+// Journal is the durable job store: an fsync-on-commit WAL of lifecycle
+// records plus a periodically compacted snapshot. It maintains the
+// materialized fold of both, so compaction is just "serialize the fold,
+// reset the WAL".
+type Journal struct {
+	mu        sync.Mutex
+	dir       string
+	wal       *WAL
+	state     *State
+	recovered *State // deep copy taken at open, for the service's recovery pass
+	log       *slog.Logger
+}
+
+// OpenJournal opens (creating if needed) the journal in dir, loads the
+// snapshot, replays the WAL on top of it and truncates any torn tail. The
+// state as of the crash is available via Recovered.
+func OpenJournal(dir string, opts Options) (*Journal, error) {
+	initMetrics()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: create journal dir: %w", err)
+	}
+	st := NewState()
+	snapPath := filepath.Join(dir, snapshotFile)
+	payload, err := readCheckedFile(snapPath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(payload, st); err != nil {
+			return nil, fmt.Errorf("durable: decode snapshot: %w", err)
+		}
+		mSnapshotLoads.Inc()
+	case errors.Is(err, fs.ErrNotExist):
+		// First boot: empty state.
+	case errors.Is(err, ErrCorrupt):
+		// A snapshot is only ever replaced atomically, so corruption means
+		// external damage. Refuse to guess: the operator must intervene.
+		return nil, fmt.Errorf("durable: snapshot unreadable (restore or remove %s): %w", snapPath, err)
+	default:
+		return nil, fmt.Errorf("durable: read snapshot: %w", err)
+	}
+
+	wal, payloads, err := OpenWAL(filepath.Join(dir, walFile), !opts.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range payloads {
+		var rec Record
+		if err := json.Unmarshal(p, &rec); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("durable: decode wal record: %w", err)
+		}
+		st.Apply(rec)
+	}
+	mRecoveries.Inc()
+	mRecoveredRecords.Add(int64(len(payloads)))
+	j := &Journal{
+		dir:       dir,
+		wal:       wal,
+		state:     st,
+		recovered: st.Clone(),
+		log:       telemetry.Component("durable"),
+	}
+	j.log.Info("journal opened", "dir", dir,
+		"jobs", len(st.Jobs), "wal_records", len(payloads), "wal_bytes", wal.Size())
+	return j, nil
+}
+
+// Recovered returns the state replayed at open: what survived the last
+// crash or shutdown. The caller owns the copy.
+func (j *Journal) Recovered() *State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovered.Clone()
+}
+
+// Append validates, serializes and commits one record, then folds it into
+// the materialized state. With fsync-on-commit (the default) the record is
+// on stable storage when Append returns.
+func (j *Journal) Append(rec Record) error {
+	if err := validateRecord(rec); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("durable: encode record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.wal.Append(payload); err != nil {
+		return err
+	}
+	j.state.Apply(rec)
+	return nil
+}
+
+// Compact atomically writes the materialized state as a snapshot and resets
+// the WAL. Crash-ordering: the snapshot rename commits first, so a crash
+// between the two steps only leaves redundant (idempotently re-applied)
+// records in the WAL.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactLocked()
+}
+
+func (j *Journal) compactLocked() error {
+	start := time.Now()
+	payload, err := json.Marshal(j.state)
+	if err != nil {
+		return fmt.Errorf("durable: encode snapshot: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(j.dir, snapshotFile), payload); err != nil {
+		return err
+	}
+	if err := j.wal.Reset(); err != nil {
+		return err
+	}
+	mSnapshots.Inc()
+	mSnapshotBytes.Set(float64(len(payload) + checkedHeaderSize))
+	j.log.Info("journal compacted", "jobs", len(j.state.Jobs),
+		"snapshot_bytes", len(payload), "seconds", time.Since(start).Seconds())
+	return nil
+}
+
+// CompactIfLarger compacts when the WAL exceeds threshold bytes
+// (DefaultCompactBytes when threshold <= 0). Returns whether it compacted.
+func (j *Journal) CompactIfLarger(threshold int64) (bool, error) {
+	if threshold <= 0 {
+		threshold = DefaultCompactBytes
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wal.Size() < threshold {
+		return false, nil
+	}
+	return true, j.compactLocked()
+}
+
+// WALSize returns the current WAL size in bytes.
+func (j *Journal) WALSize() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wal.Size()
+}
+
+// Close flushes and closes the WAL. Callers wanting a clean restart (no
+// replay) should Compact first.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wal.Close()
+}

@@ -1,0 +1,43 @@
+package durable
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Persistence metrics, registered in the process-wide default registry so
+// thermserved's /metrics exposes them next to the simulation and RL
+// families.
+var (
+	metricsOnce sync.Once
+
+	mWALRecords       *telemetry.Counter
+	mWALBytes         *telemetry.Counter
+	mWALFsync         *telemetry.Histogram
+	mWALTornTails     *telemetry.Counter
+	mSnapshots        *telemetry.Counter
+	mSnapshotLoads    *telemetry.Counter
+	mSnapshotBytes    *telemetry.Gauge
+	mRecoveries       *telemetry.Counter
+	mRecoveredRecords *telemetry.Counter
+	mCheckpointWrites *telemetry.Counter
+	mCheckpointReads  *telemetry.Counter
+)
+
+func initMetrics() {
+	metricsOnce.Do(func() {
+		reg := telemetry.Default()
+		mWALRecords = reg.Counter("durable_wal_records_total", "Records appended to the write-ahead log.")
+		mWALBytes = reg.Counter("durable_wal_bytes_total", "Bytes (frames included) appended to the write-ahead log.")
+		mWALFsync = reg.Histogram("durable_wal_fsync_seconds", "Latency of the fsync committing each WAL append.", telemetry.IOBuckets)
+		mWALTornTails = reg.Counter("durable_wal_torn_tails_total", "Torn or corrupt WAL tails truncated on open.")
+		mSnapshots = reg.Counter("durable_snapshots_total", "Snapshots written by WAL compaction.")
+		mSnapshotLoads = reg.Counter("durable_snapshot_loads_total", "Snapshots loaded at journal open.")
+		mSnapshotBytes = reg.Gauge("durable_snapshot_bytes", "Size of the most recently written snapshot.")
+		mRecoveries = reg.Counter("durable_recoveries_total", "Journal opens (each replays snapshot + WAL).")
+		mRecoveredRecords = reg.Counter("durable_recovered_records_total", "WAL records replayed across all journal opens.")
+		mCheckpointWrites = reg.Counter("durable_checkpoint_writes_total", "Checkpoints stored.")
+		mCheckpointReads = reg.Counter("durable_checkpoint_reads_total", "Checkpoints read back.")
+	})
+}

@@ -1,0 +1,171 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Record kinds, one per journaled job-lifecycle transition.
+const (
+	// KindSubmit registers a job: id, spec, cell budget, submission time.
+	KindSubmit = "submit"
+	// KindCell commits one finished cell: index plus its row (or error).
+	KindCell = "cell"
+	// KindFinish commits a terminal transition (done/failed/cancelled).
+	KindFinish = "finish"
+	// KindCancel records a cancellation request, whatever the job's state
+	// at that moment (a queued-but-never-started job journals exactly like
+	// a running one; the terminal KindFinish follows separately).
+	KindCancel = "cancel"
+	// KindEvict drops a TTL-expired job from the durable state, so
+	// compaction cannot resurrect it and the data dir stays bounded.
+	KindEvict = "evict"
+)
+
+// Record is one job-lifecycle entry in the WAL. Only the fields relevant to
+// its Kind are set.
+type Record struct {
+	Kind string `json:"kind"`
+	Job  string `json:"job"`
+
+	// Submit fields.
+	Spec        json.RawMessage `json:"spec,omitempty"`
+	TotalCells  int             `json:"total_cells,omitempty"`
+	SubmittedAt time.Time       `json:"submitted_at,omitzero"`
+
+	// Cell fields. Cell is the index into the campaign's cell plan.
+	Cell int             `json:"cell,omitempty"`
+	Row  json.RawMessage `json:"row,omitempty"`
+	Err  string          `json:"err,omitempty"`
+
+	// Finish fields.
+	State      string    `json:"state,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+	WallClockS float64   `json:"wall_clock_s,omitempty"`
+}
+
+// CellState is the journaled outcome of one cell.
+type CellState struct {
+	Row json.RawMessage `json:"row,omitempty"`
+	Err string          `json:"err,omitempty"`
+}
+
+// JobState is the journal's materialized view of one job: everything needed
+// to rebuild a finished job's result or to resume an interrupted one.
+type JobState struct {
+	ID          string          `json:"id"`
+	Spec        json.RawMessage `json:"spec"`
+	TotalCells  int             `json:"total_cells"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+
+	// State is "pending" until a finish record lands; an interrupted job
+	// therefore recovers as pending (with its finished cells in Cells) and
+	// is re-enqueued by the service layer.
+	State      string    `json:"state"`
+	Error      string    `json:"error,omitempty"`
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+	WallClockS float64   `json:"wall_clock_s,omitempty"`
+
+	// CancelRequested survives a crash between the cancel request and the
+	// pool's finalization, so recovery cancels instead of resuming.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+
+	// Cells holds the committed per-cell outcomes, keyed by cell index.
+	Cells map[int]CellState `json:"cells,omitempty"`
+}
+
+// Terminal reports whether the job reached a terminal state before the
+// journal was last written.
+func (js *JobState) Terminal() bool {
+	switch js.State {
+	case "done", "failed", "cancelled":
+		return true
+	}
+	return false
+}
+
+// State is the fold of a snapshot plus the WAL's records: the durable view
+// of the whole job store.
+type State struct {
+	Jobs map[string]*JobState `json:"jobs"`
+}
+
+// NewState returns an empty state.
+func NewState() *State { return &State{Jobs: make(map[string]*JobState)} }
+
+// Apply folds one record into the state. Records for unknown jobs (a cell
+// record outrunning a lost submit cannot happen with fsync-on-commit, but a
+// hand-edited journal could produce one) are ignored rather than fatal, so
+// one odd record never blocks recovery of everything else.
+func (s *State) Apply(rec Record) {
+	switch rec.Kind {
+	case KindSubmit:
+		s.Jobs[rec.Job] = &JobState{
+			ID:          rec.Job,
+			Spec:        rec.Spec,
+			TotalCells:  rec.TotalCells,
+			SubmittedAt: rec.SubmittedAt,
+			State:       "pending",
+		}
+	case KindCell:
+		js, ok := s.Jobs[rec.Job]
+		if !ok {
+			return
+		}
+		if js.Cells == nil {
+			js.Cells = make(map[int]CellState)
+		}
+		js.Cells[rec.Cell] = CellState{Row: rec.Row, Err: rec.Err}
+	case KindFinish:
+		js, ok := s.Jobs[rec.Job]
+		if !ok {
+			return
+		}
+		js.State = rec.State
+		js.Error = rec.Error
+		js.StartedAt = rec.StartedAt
+		js.FinishedAt = rec.FinishedAt
+		js.WallClockS = rec.WallClockS
+	case KindCancel:
+		if js, ok := s.Jobs[rec.Job]; ok {
+			js.CancelRequested = true
+		}
+	case KindEvict:
+		delete(s.Jobs, rec.Job)
+	}
+}
+
+// Clone returns a deep copy, so recovery can consume the state while the
+// journal keeps folding new records into its own.
+func (s *State) Clone() *State {
+	out := NewState()
+	for id, js := range s.Jobs {
+		cp := *js
+		cp.Spec = append(json.RawMessage(nil), js.Spec...)
+		if js.Cells != nil {
+			cp.Cells = make(map[int]CellState, len(js.Cells))
+			for i, c := range js.Cells {
+				cp.Cells[i] = CellState{Row: append(json.RawMessage(nil), c.Row...), Err: c.Err}
+			}
+		}
+		out.Jobs[id] = &cp
+	}
+	return out
+}
+
+// validateRecord rejects records the fold could not use.
+func validateRecord(rec Record) error {
+	if rec.Job == "" {
+		return fmt.Errorf("durable: record %q missing job id", rec.Kind)
+	}
+	switch rec.Kind {
+	case KindSubmit, KindCell, KindFinish, KindCancel, KindEvict:
+		return nil
+	default:
+		return fmt.Errorf("durable: unknown record kind %q", rec.Kind)
+	}
+}

@@ -1,0 +1,198 @@
+// Package durable is the crash-safety layer of the job service: an
+// append-only, CRC-framed write-ahead log of job lifecycle records, periodic
+// atomic snapshots that let the log be compacted, and a content-addressed
+// checkpoint store for learned RL agent state. Everything is plain files
+// under one data directory, written so that a SIGKILL at any byte leaves the
+// store recoverable: frames are length-prefixed and checksummed, a torn tail
+// is truncated on open, and snapshots are written to a temp file, fsynced
+// and renamed into place.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// frameHeaderSize is the per-record framing overhead: a uint32 payload
+// length followed by a uint32 CRC32 (IEEE) of the payload, little-endian.
+const frameHeaderSize = 8
+
+// MaxPayload bounds one WAL record (and one checked file payload). A length
+// prefix beyond it is treated as corruption, not an allocation request.
+const MaxPayload = 64 << 20
+
+// ErrCorrupt reports a frame whose checksum or length failed validation
+// somewhere other than the file tail (a torn tail is silently truncated; a
+// mid-file corruption is not recoverable by truncation and is surfaced).
+var ErrCorrupt = errors.New("durable: corrupt WAL frame")
+
+// WAL is an append-only log of byte payloads with optional fsync-on-commit.
+// It is not internally locked; the owning Journal serializes access.
+type WAL struct {
+	f       *os.File
+	path    string
+	size    int64
+	records int
+	sync    bool
+}
+
+// OpenWAL opens (creating if needed) the log at path, validates every frame
+// and truncates a torn or corrupt tail. It returns the surviving payloads in
+// append order. sync selects fsync-on-commit for subsequent appends.
+func OpenWAL(path string, sync bool) (*WAL, [][]byte, error) {
+	initMetrics()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: open wal: %w", err)
+	}
+	payloads, good, err := scanFrames(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: stat wal: %w", err)
+	}
+	if st.Size() > good {
+		// Torn tail from a crash mid-append: drop the partial frame so the
+		// next append starts on a clean boundary.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("durable: truncate torn wal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("durable: sync truncated wal: %w", err)
+		}
+		mWALTornTails.Inc()
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: seek wal end: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &WAL{f: f, path: path, size: good, records: len(payloads), sync: sync}, payloads, nil
+}
+
+// scanFrames reads frames from the start of f, returning the payloads and
+// the offset just past the last fully valid frame. A short or checksum-bad
+// frame at the tail ends the scan (the caller truncates); the same damage
+// followed by further readable bytes cannot be distinguished from a torn
+// tail cheaply, so any trailing garbage is treated as the tail.
+func scanFrames(f *os.File) ([][]byte, int64, error) {
+	var (
+		payloads [][]byte
+		off      int64
+		hdr      [frameHeaderSize]byte
+	)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("durable: seek wal: %w", err)
+	}
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return payloads, off, nil // clean EOF or torn header
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > MaxPayload {
+			return payloads, off, nil // corrupt length: treat as tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return payloads, off, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, off, nil // torn or bit-rotted frame
+		}
+		payloads = append(payloads, payload)
+		off += frameHeaderSize + int64(length)
+	}
+}
+
+// Append commits one payload: frame write plus, when fsync-on-commit is on,
+// an fsync whose latency lands in the durable_wal_fsync_seconds histogram.
+func (w *WAL) Append(payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("durable: wal payload %d bytes exceeds max %d", len(payload), MaxPayload)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("durable: wal append: %w", err)
+	}
+	if w.sync {
+		start := time.Now()
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("durable: wal fsync: %w", err)
+		}
+		mWALFsync.Observe(time.Since(start).Seconds())
+	}
+	w.size += int64(len(frame))
+	w.records++
+	mWALRecords.Inc()
+	mWALBytes.Add(int64(len(frame)))
+	return nil
+}
+
+// Sync flushes buffered appends to stable storage (a no-op effort-wise when
+// fsync-on-commit already ran).
+func (w *WAL) Sync() error { return w.f.Sync() }
+
+// Reset truncates the log to empty; the caller must already have persisted
+// an equivalent snapshot (Journal.Compact does).
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("durable: wal reset: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("durable: wal reset seek: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: wal reset sync: %w", err)
+	}
+	w.size = 0
+	w.records = 0
+	return nil
+}
+
+// Size returns the current log size in bytes.
+func (w *WAL) Size() int64 { return w.size }
+
+// Records returns the number of frames in the log.
+func (w *WAL) Records() int { return w.records }
+
+// Close syncs and closes the file.
+func (w *WAL) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

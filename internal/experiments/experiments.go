@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/governor"
+	"repro/internal/rl"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -32,6 +33,13 @@ type Config struct {
 	// per-job seed from the submitted base seed so resubmitting a spec is
 	// bit-identical while distinct campaigns decorrelate.
 	Seed int64
+	// WarmStart, when non-nil, seeds the proposed controller of every run
+	// with a previously learned Q-table (adopted via rl.Agent.AdoptTable)
+	// instead of a zero table. Deterministic baselines are unaffected.
+	WarmStart *rl.QTable
+	// WarmStartAlpha is the learning rate adopted alongside WarmStart;
+	// <= 0 selects the agent's AlphaExp.
+	WarmStartAlpha float64
 }
 
 // DefaultConfig returns the full-fidelity configuration.
@@ -89,19 +97,42 @@ func NewPolicy(name string) (sim.Policy, error) {
 }
 
 // newPolicy builds the policy for one run, threading the config's RL base
-// seed into the proposed controller (every other policy is deterministic,
-// so the seed only affects PolicyProposed and its variants).
+// seed and warm-start table into the proposed controller (every other
+// policy is deterministic, so neither affects the baselines).
 func newPolicy(cfg Config, name string) (sim.Policy, error) {
 	p, err := NewPolicy(name)
-	if err != nil || cfg.Seed == 0 {
+	if err != nil {
 		return p, err
 	}
-	if pp, ok := p.(*sim.ProposedPolicy); ok && pp.Config == nil {
-		ctl := core.DefaultConfig()
-		ctl.Agent.Seed = cfg.Seed
-		pp.Config = &ctl
+	if pp, ok := p.(*sim.ProposedPolicy); ok {
+		configureProposed(cfg, pp)
 	}
 	return p, nil
+}
+
+// configureProposed threads the config's RL base seed and warm-start state
+// into a hand-built proposed policy. A policy whose controller config the
+// caller already pinned (parameter sweeps) is left untouched, as is the
+// default when there is nothing to thread.
+func configureProposed(cfg Config, pp *sim.ProposedPolicy) {
+	if pp.Config != nil || (cfg.Seed == 0 && cfg.WarmStart == nil) {
+		return
+	}
+	ctl := core.DefaultConfig()
+	if cfg.Seed != 0 {
+		ctl.Agent.Seed = cfg.Seed
+	}
+	ctl.WarmStart = cfg.WarmStart
+	ctl.WarmStartAlpha = cfg.WarmStartAlpha
+	pp.Config = &ctl
+}
+
+// PolicyFor is the exported form of newPolicy: a fresh policy instance for
+// one run with the config's RL seed and warm-start state threaded through.
+// The job service's tests and custom planners use it to run cells that
+// honor a warm_start submission.
+func PolicyFor(cfg Config, name string) (sim.Policy, error) {
+	return newPolicy(cfg, name)
 }
 
 // agentSeed resolves the base RL seed for runners that construct the

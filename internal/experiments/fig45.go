@@ -43,6 +43,7 @@ func Fig45(cfg Config) (*Fig45Result, error) {
 		return nil, err
 	}
 	pp := &sim.ProposedPolicy{History: true}
+	configureProposed(cfg, pp)
 	prop, err := sim.Run(cfg.Run, app, pp)
 	if err != nil {
 		return nil, err

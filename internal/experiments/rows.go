@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// decodeInto unmarshals data into a value of type T and returns it as the
+// concrete type (not a pointer), matching what a cell's Run returns.
+func decodeInto[T any](data []byte) (any, error) {
+	var v T
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// cellRowDecoders maps each experiment to the decoder for one cell's row,
+// mirroring the per-cell types produced by Cells. Campaign experiments
+// decode one row per cell; single-shot experiments have exactly one cell
+// whose "row" is the whole typed result.
+var cellRowDecoders = map[string]func([]byte) (any, error){
+	"suite":      decodeInto[SuiteRow],
+	"table2":     decodeInto[Table2Cell],
+	"seeds":      decodeInto[SeedStudyRow],
+	"concurrent": decodeInto[ConcurrentRow],
+	"fig1":       decodeInto[*Fig1Result],
+	"fig3":       decodeInto[[]Fig3Row],
+	"fig45":      decodeInto[*Fig45Result],
+	"fig6":       decodeInto[[]Fig6Row],
+	"fig7":       decodeInto[[]Fig7Row],
+	"fig8":       decodeInto[[]Fig8Row],
+	"table3":     decodeInto[[]PerfEnergyCell],
+	"fig9":       decodeInto[[]PerfEnergyCell],
+	"ablation":   decodeInto[[]AblationRow],
+	"manycore":   decodeInto[[]ManycoreRow],
+	"noise":      decodeInto[[]NoiseRow],
+	"library":    decodeInto[[]LibraryRow],
+}
+
+// DecodeCellRow rebuilds one cell's typed row from its JSON serialization.
+// The durable job journal stores cell rows as JSON; recovery uses this to
+// hand the pool's assembler the same concrete types a live run produces, so
+// a recovered job's assembled result is bit-identical (modulo float64 JSON
+// round-tripping, which Go's shortest-representation encoding makes exact).
+func DecodeCellRow(experiment string, data []byte) (any, error) {
+	dec, ok := cellRowDecoders[experiment]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no row decoder for experiment %q", experiment)
+	}
+	row, err := dec(data)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: decode %s cell row: %w", experiment, err)
+	}
+	return row, nil
+}

@@ -60,6 +60,58 @@ func (a *Agent) Save(w io.Writer) error {
 	})
 }
 
+// SavedAgent is serialized agent state decoded without an Agent to load it
+// into: what a checkpoint store or CLI needs to inspect dimensions and pick
+// a warm-start table before any controller exists.
+type SavedAgent struct {
+	// Alpha and Epochs are the saved learning-rate state.
+	Alpha  float64
+	Epochs int
+	// Q is the live table; Snapshot the exploration-end snapshot (nil when
+	// the save happened before exploration ended).
+	Q        *QTable
+	Snapshot *QTable
+}
+
+// DecodeAgent parses agent state previously written by Agent.Save,
+// validating dimensions and invariants the same way Load does.
+func DecodeAgent(r io.Reader) (*SavedAgent, error) {
+	var aj agentJSON
+	if err := json.NewDecoder(r).Decode(&aj); err != nil {
+		return nil, fmt.Errorf("rl: decode agent: %w", err)
+	}
+	if aj.Q == nil {
+		return nil, fmt.Errorf("rl: decode agent: missing q-table")
+	}
+	if aj.Alpha < 0 || aj.Alpha > 1 {
+		return nil, fmt.Errorf("rl: decode agent: alpha %g out of [0,1]", aj.Alpha)
+	}
+	if aj.SnapTaken {
+		if aj.Snapshot == nil {
+			return nil, fmt.Errorf("rl: decode agent: snapshot flagged but missing")
+		}
+		if aj.Snapshot.numStates != aj.Q.numStates || aj.Snapshot.numActions != aj.Q.numActions {
+			return nil, fmt.Errorf("rl: decode agent: snapshot dimension mismatch")
+		}
+	}
+	sa := &SavedAgent{Alpha: aj.Alpha, Epochs: aj.Epochs, Q: aj.Q}
+	if aj.SnapTaken {
+		sa.Snapshot = aj.Snapshot
+	}
+	return sa, nil
+}
+
+// WarmTable returns the table a warm start should adopt: the
+// exploration-end snapshot when one was captured (the paper's post-
+// exploration policy, the asset intra-application restores depend on),
+// otherwise the live table.
+func (sa *SavedAgent) WarmTable() *QTable {
+	if sa.Snapshot != nil {
+		return sa.Snapshot
+	}
+	return sa.Q
+}
+
 // Load restores learning state previously written by Save. The serialized
 // Q-table dimensions must match the agent's configuration.
 func (a *Agent) Load(r io.Reader) error {

@@ -60,6 +60,11 @@ type Spec struct {
 	// Seed is the base RL seed; 0 keeps the package default, making a
 	// pooled run bit-identical to the plain sequential runners.
 	Seed int64 `json:"seed,omitempty"`
+	// WarmStart names a stored Q-table checkpoint; when set, every
+	// proposed-policy run of the job adopts its learned table (via
+	// rl.Agent.AdoptTable) instead of starting from a zero table. Requires
+	// the server to run with a data directory.
+	WarmStart string `json:"warm_start,omitempty"`
 }
 
 // Validate rejects specs the runner could not execute.

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
@@ -42,6 +43,10 @@ type Pool struct {
 	jobsSubmitted atomic.Int64
 	// queued counts cells accepted but not yet picked up by a worker.
 	queued atomic.Int64
+
+	// checkpoints, when attached, resolves warm_start submissions to stored
+	// Q-table checkpoints.
+	checkpoints *durable.CheckpointStore
 
 	// reg is the pool-owned metrics registry; the HTTP server adds its own
 	// request metrics to it and exposes it on /metrics.
@@ -125,6 +130,9 @@ func (p *Pool) Submit(spec Spec) (Job, error) {
 		return Job{}, err
 	}
 	cfg := spec.Config()
+	if err := p.applyWarmStart(&cfg, spec.WarmStart); err != nil {
+		return Job{}, err
+	}
 	rec := telemetry.NewRecorder(0)
 	cfg.Run.Recorder = rec
 	cells, assemble, err := p.plan(cfg, spec.Experiment)
@@ -145,11 +153,15 @@ func (p *Pool) Submit(spec Spec) (Job, error) {
 		errs:        make([]error, len(cells)),
 		remaining:   len(cells),
 	}
+	tasks := make([]task, len(cells))
+	for i, cell := range cells {
+		tasks[i] = task{jr: jr, idx: i, cell: cell}
+	}
 	p.jobsSubmitted.Add(1)
-	p.queued.Add(int64(len(cells)))
+	p.queued.Add(int64(len(tasks)))
 	p.feederWG.Add(1)
-	go p.feed(jr, cells)
-	p.log.Info("job submitted", "job", job.ID, "experiment", spec.Experiment, "cells", len(cells), "quick", spec.Quick)
+	go p.feed(jr, tasks)
+	p.log.Info("job submitted", "job", job.ID, "experiment", spec.Experiment, "cells", len(cells), "quick", spec.Quick, "warm_start", spec.WarmStart)
 	return job, nil
 }
 
@@ -169,25 +181,27 @@ func (p *Pool) Wait(ctx context.Context, id string) (Job, error) {
 	}
 }
 
-// feed hands a job's cells to the workers in order, bailing out (and
-// accounting the unfed remainder) as soon as the job is cancelled.
-func (p *Pool) feed(jr *jobRun, cells []experiments.Cell) {
+// feed hands a job's tasks to the workers in order, bailing out (and
+// accounting the unfed remainder) as soon as the job is cancelled. A resumed
+// job feeds only its not-yet-journaled cells, so tasks may be a sparse
+// subset of the original plan.
+func (p *Pool) feed(jr *jobRun, tasks []task) {
 	defer p.feederWG.Done()
-	if len(cells) == 0 {
+	if len(tasks) == 0 {
 		p.finalize(jr)
 		return
 	}
-	for i := range cells {
+	for i, t := range tasks {
 		select {
 		case <-jr.ctx.Done():
 			// The unfed remainder never reaches a worker; drain it from the
 			// queue-depth gauge as it is accounted.
-			for j := i; j < len(cells); j++ {
+			for _, rest := range tasks[i:] {
 				p.queued.Add(-1)
-				p.finishCell(jr, j, nil, jr.ctx.Err(), true)
+				p.finishCell(jr, rest.idx, nil, jr.ctx.Err(), true)
 			}
 			return
-		case p.tasks <- task{jr: jr, idx: i, cell: cells[i]}:
+		case p.tasks <- t:
 		}
 	}
 }
@@ -261,6 +275,9 @@ func (p *Pool) finishCell(jr *jobRun, idx int, row any, err error, skipped bool)
 	jr.mu.Unlock()
 
 	if !skipped {
+		// Journal the outcome before crediting progress, so every cell a
+		// client ever saw counted is recoverable after a crash.
+		p.store.CellDone(jr.id, idx, row, err)
 		if err == nil {
 			p.cellsDone.Add(1)
 			p.store.AddProgress(jr.id, 1, 0)

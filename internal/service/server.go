@@ -1,13 +1,18 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
 
+	"repro/internal/durable"
+	"repro/internal/rl"
 	"repro/internal/telemetry"
 )
 
@@ -19,8 +24,16 @@ import (
 //	GET    /v1/jobs/{id}/result assembled rows of a finished job
 //	GET    /v1/jobs/{id}/events RL decision-event trace as JSONL
 //	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/checkpoints        list stored Q-table checkpoints
+//	POST   /v1/checkpoints/{name} store agent state (body = rl.Agent JSON)
+//	GET    /v1/checkpoints/{name} fetch the stored agent state
+//	DELETE /v1/checkpoints/{name} remove a checkpoint
 //	GET    /healthz             liveness
 //	GET    /metrics             Prometheus text exposition
+//
+// The checkpoint routes require a data directory (thermserved -data-dir)
+// and answer 503 without one. A stored checkpoint's name can be passed as a
+// job spec's warm_start to seed the RL controller of every cell.
 //
 // Every route is instrumented: request counts by (route, method, code),
 // latency histograms per route and an in-flight gauge, all registered in
@@ -51,6 +64,10 @@ func NewServer(store *Store, pool *Pool) *Server {
 	s.handle("GET /v1/jobs/{id}/result", "/v1/jobs/{id}/result", s.handleResult)
 	s.handle("GET /v1/jobs/{id}/events", "/v1/jobs/{id}/events", s.handleEvents)
 	s.handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.handleCancel)
+	s.handle("GET /v1/checkpoints", "/v1/checkpoints", s.handleCheckpointList)
+	s.handle("POST /v1/checkpoints/{name}", "/v1/checkpoints/{name}", s.handleCheckpointPut)
+	s.handle("GET /v1/checkpoints/{name}", "/v1/checkpoints/{name}", s.handleCheckpointGet)
+	s.handle("DELETE /v1/checkpoints/{name}", "/v1/checkpoints/{name}", s.handleCheckpointDelete)
 	s.handle("GET /healthz", "/healthz", s.handleHealthz)
 	metrics := telemetry.Handler(s.reg, telemetry.Default())
 	s.handle("GET /metrics", "/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -188,6 +205,84 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job)
+}
+
+// checkpoints fetches the pool's checkpoint store, answering 503 when the
+// server runs without a data directory.
+func (s *Server) checkpoints(w http.ResponseWriter) *durable.CheckpointStore {
+	cs := s.pool.Checkpoints()
+	if cs == nil {
+		writeError(w, http.StatusServiceUnavailable, "checkpoints require a data directory (run thermserved with -data-dir)")
+	}
+	return cs
+}
+
+func (s *Server) handleCheckpointList(w http.ResponseWriter, _ *http.Request) {
+	cs := s.checkpoints(w)
+	if cs == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"checkpoints": cs.List()})
+}
+
+// handleCheckpointPut stores the request body — agent state as written by
+// rl.Agent.Save (e.g. thermsim -save-agent) — under the path's name. The
+// payload is decoded before storing, so a corrupt or truncated upload is
+// rejected instead of poisoning later warm starts.
+func (s *Server) handleCheckpointPut(w http.ResponseWriter, r *http.Request) {
+	cs := s.checkpoints(w)
+	if cs == nil {
+		return
+	}
+	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, durable.MaxPayload))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "read checkpoint payload: %v", err)
+		return
+	}
+	if _, err := rl.DecodeAgent(bytes.NewReader(payload)); err != nil {
+		writeError(w, http.StatusBadRequest, "not valid agent state: %v", err)
+		return
+	}
+	info, err := cs.Put(r.PathValue("name"), payload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleCheckpointGet(w http.ResponseWriter, r *http.Request) {
+	cs := s.checkpoints(w)
+	if cs == nil {
+		return
+	}
+	payload, _, err := cs.Get(r.PathValue("name"))
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, durable.ErrNoCheckpoint) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(payload) //nolint:errcheck // client gone; nothing left to do
+}
+
+func (s *Server) handleCheckpointDelete(w http.ResponseWriter, r *http.Request) {
+	cs := s.checkpoints(w)
+	if cs == nil {
+		return
+	}
+	if err := cs.Delete(r.PathValue("name")); err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, durable.ErrNoCheckpoint) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -2,11 +2,16 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"log/slog"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/telemetry"
 )
 
@@ -39,6 +44,10 @@ type Store struct {
 	now  func() time.Time
 	seq  int
 	jobs map[string]*record
+	// journal, when attached, receives one durable record per lifecycle
+	// transition (submit, cell outcome, cancel request, finish, evict).
+	journal Journal
+	log     *slog.Logger
 }
 
 // NewStore builds a store evicting finished jobs ttl after completion;
@@ -47,7 +56,35 @@ func NewStore(ttl time.Duration) *Store {
 	if ttl <= 0 {
 		ttl = DefaultTTL
 	}
-	return &Store{ttl: ttl, now: time.Now, jobs: make(map[string]*record)}
+	return &Store{ttl: ttl, now: time.Now, jobs: make(map[string]*record), log: telemetry.Component("store")}
+}
+
+// Journal is the durable sink for job-lifecycle records; *durable.Journal
+// implements it.
+type Journal interface {
+	Append(durable.Record) error
+}
+
+// SetJournal attaches the durable journal. Attach before serving traffic;
+// transitions made earlier are not journaled retroactively.
+func (s *Store) SetJournal(j Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
+// journalLocked appends one record to the journal, if attached. A journal
+// write failure is logged rather than failing the in-memory transition: the
+// store stays authoritative for liveness and the log line (plus the stalled
+// durable_wal_records_total counter) is the operator's durability signal.
+// Callers hold s.mu, so records land in the WAL in commit order.
+func (s *Store) journalLocked(rec durable.Record) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.log.Error("journal append failed", "kind", rec.Kind, "job", rec.Job, "err", err)
+	}
 }
 
 // Create registers a pending job for spec with a fixed cell budget and
@@ -68,7 +105,49 @@ func (s *Store) Create(spec Spec, totalCells int) Job {
 		done: make(chan struct{}),
 	}
 	s.jobs[rec.job.ID] = rec
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		s.log.Error("spec not journalable", "job", rec.job.ID, "err", err)
+	} else {
+		s.journalLocked(durable.Record{
+			Kind:        durable.KindSubmit,
+			Job:         rec.job.ID,
+			Spec:        specJSON,
+			TotalCells:  totalCells,
+			SubmittedAt: rec.job.SubmittedAt,
+		})
+	}
 	return rec.job
+}
+
+// Restore installs a recovered job snapshot (with its assembled rows, if
+// any) without journaling a submit record — the journal already holds the
+// job. The ID sequence advances past the restored ID so new submissions
+// never collide with recovered ones.
+func (s *Store) Restore(job Job, rows any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := &record{job: job, rows: rows, done: make(chan struct{})}
+	if job.State.Terminal() {
+		close(rec.done)
+	}
+	s.jobs[job.ID] = rec
+	if n, ok := parseJobSeq(job.ID); ok && n > s.seq {
+		s.seq = n
+	}
+}
+
+// parseJobSeq extracts the numeric sequence from a "job-%06d" id.
+func parseJobSeq(id string) (int, bool) {
+	num, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // Get returns the snapshot of one job.
@@ -179,6 +258,29 @@ func (s *Store) AddProgress(id string, done, failed int) {
 	}
 }
 
+// CellDone journals one cell's committed outcome (row or error), so a
+// restart resumes the job without re-running it. The in-memory row stays
+// with the pool; only the durable copy passes through the store.
+func (s *Store) CellDone(id string, idx int, row any, cellErr error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		return
+	}
+	rec := durable.Record{Kind: durable.KindCell, Job: id, Cell: idx}
+	if cellErr != nil {
+		rec.Err = cellErr.Error()
+	} else {
+		rowJSON, err := json.Marshal(row)
+		if err != nil {
+			s.log.Error("cell row not journalable", "job", id, "cell", idx, "err", err)
+			return
+		}
+		rec.Row = rowJSON
+	}
+	s.journalLocked(rec)
+}
+
 // Finish moves a job into its terminal state: cancelled if cancellation was
 // requested (or runErr wraps context.Canceled via the pool), failed if any
 // cell errored, done otherwise. rows may carry partial results alongside an
@@ -221,6 +323,10 @@ func (s *Store) Cancel(id string) (Job, error) {
 		return rec.job, nil
 	}
 	rec.cancelRequested = true
+	// The request itself is journaled for every non-terminal job — including
+	// one still queued and never started — so a crash before the pool
+	// finalizes recovers into cancellation, not a silent resume.
+	s.journalLocked(durable.Record{Kind: durable.KindCancel, Job: rec.job.ID})
 	if rec.cancel != nil {
 		rec.cancel()
 	}
@@ -240,6 +346,15 @@ func (s *Store) finalizeLocked(rec *record, next State, runErr error) {
 	if runErr != nil {
 		rec.job.Error = runErr.Error()
 	}
+	s.journalLocked(durable.Record{
+		Kind:       durable.KindFinish,
+		Job:        rec.job.ID,
+		State:      string(next),
+		Error:      rec.job.Error,
+		StartedAt:  rec.job.StartedAt,
+		FinishedAt: rec.job.FinishedAt,
+		WallClockS: rec.job.WallClockS,
+	})
 	close(rec.done)
 }
 
@@ -257,6 +372,9 @@ func (s *Store) evictLocked() int {
 	for id, rec := range s.jobs {
 		if rec.job.State.Terminal() && rec.job.FinishedAt.Before(cutoff) {
 			delete(s.jobs, id)
+			// Dropped from the durable state too, so compaction cannot
+			// resurrect an evicted job and the snapshot stays bounded.
+			s.journalLocked(durable.Record{Kind: durable.KindEvict, Job: id})
 			n++
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/governor"
 	"repro/internal/platform"
+	"repro/internal/rl"
 	"repro/internal/telemetry"
 )
 
@@ -125,3 +126,12 @@ func (pp *ProposedPolicy) Tick(*platform.Platform) { pp.ctl.Tick() }
 
 // Controller exposes the attached controller (nil before Attach).
 func (pp *ProposedPolicy) Controller() *core.Controller { return pp.ctl }
+
+// LearningAgent exposes the controller's RL agent (nil before Attach),
+// implementing sim.AgentProvider for post-run agent persistence.
+func (pp *ProposedPolicy) LearningAgent() *rl.Agent {
+	if pp.ctl == nil {
+		return nil
+	}
+	return pp.ctl.Agent()
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/platform"
 	"repro/internal/reliability"
+	"repro/internal/rl"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -50,6 +51,10 @@ type RunConfig struct {
 	// tracing (the RL controller), collecting one event per decision epoch
 	// into a bounded ring buffer.
 	Recorder *telemetry.Recorder
+	// AgentObserver, when non-nil, is called with the learning agent after a
+	// run completes, for policies that expose one (the RL controller). The
+	// thermsim -save-agent flag uses it to persist what the run learned.
+	AgentObserver func(*rl.Agent)
 }
 
 // DefaultRunConfig returns the standard configuration.
@@ -100,6 +105,12 @@ type RecorderAttacher interface {
 	AttachRecorder(*telemetry.Recorder)
 }
 
+// AgentProvider is implemented by policies backed by a learning agent (the
+// proposed RL controller); LearningAgent returns nil before Attach.
+type AgentProvider interface {
+	LearningAgent() *rl.Agent
+}
+
 // Run executes the workload under the policy until completion (or MaxSimS)
 // and returns the collected metrics.
 func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) {
@@ -135,6 +146,13 @@ func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) 
 		steps++
 	}
 	mSteps.Add(steps)
+	if cfg.AgentObserver != nil {
+		if ap, ok := policy.(AgentProvider); ok {
+			if a := ap.LearningAgent(); a != nil {
+				cfg.AgentObserver(a)
+			}
+		}
+	}
 	return collect(cfg, p, mt, pt, policy.Name(), work.Name()), nil
 }
 

@@ -101,6 +101,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // client defaults).
 var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 
+// IOBuckets are disk-I/O latency buckets in seconds, covering the span from
+// a page-cache write (tens of microseconds) to a stalled fsync (a second).
+var IOBuckets = []float64{1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, .01, .025, .05, .1, .25, .5, 1}
+
 // LinearBuckets returns count bounds starting at start, spaced by width.
 func LinearBuckets(start, width float64, count int) []float64 {
 	if count < 1 {

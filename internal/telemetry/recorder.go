@@ -27,6 +27,9 @@ const (
 	// adoption once the moving averages settle.
 	EventAdoptConfirmed = "adopt_confirmed"
 	EventAdoptReverted  = "adopt_reverted"
+	// EventWarmStart marks the first epoch of a controller whose agent was
+	// seeded from a persisted checkpoint instead of a zero table.
+	EventWarmStart = "warm_start"
 )
 
 // DecisionEvent is one recorded RL decision epoch.
