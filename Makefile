@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt-check vet test race recover-test bench ci
+.PHONY: all build fmt-check vet test race recover-test bench bench-smoke ci
 
 all: ci
 
@@ -29,10 +29,17 @@ recover-test:
 	$(GO) test -race -run 'TestWAL|TestJournal|TestCheckpoint|TestRecovery|TestCrashRestart|TestJournaled|TestWarmStart' ./internal/durable ./internal/service
 
 # Full benchmark sweep (quick-mode experiment regeneration plus the
-# micro-benchmarks of every package), archived under results/ so runs are
-# comparable across commits.
+# micro-benchmarks of every package). The human-readable benchstat text is
+# archived under results/ so runs are comparable across commits, and the same
+# run is distilled into BENCH_pr4.json (name -> ns/op, B/op, allocs/op) at
+# the repo root for machine consumption.
 bench:
 	@mkdir -p results
 	$(GO) test -bench . -benchmem -count=1 -run '^$$' ./... | tee results/bench.txt
+	$(GO) run ./cmd/benchjson -o BENCH_pr4.json results/bench.txt
 
-ci: build fmt-check vet race
+# Benchmark smoke: every benchmark compiles and survives one iteration.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./... > /dev/null
+
+ci: build fmt-check vet race bench-smoke

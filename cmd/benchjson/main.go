@@ -1,0 +1,134 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON summary: one object per benchmark, keyed by the benchmark's name
+// (GOMAXPROCS suffix stripped), with ns/op and — when -benchmem was on —
+// B/op and allocs/op.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH.json
+//	benchjson -o BENCH.json results/bench.txt
+//
+// The raw text still flows to stdout, so benchjson drops into a pipeline
+// without hiding the human-readable output. Benchmarks that appear more than
+// once (e.g. -count > 1) keep their last measurement.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's measurements; pointers distinguish "not
+// reported" (no -benchmem) from a literal zero.
+type result struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON summary to this file (default stdout only)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: go test -bench . -benchmem ./... | %s -o BENCH.json [FILE]\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	echo := true // piping mode passes the text through; file mode stays quiet
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		echo = false
+	}
+
+	results := map[string]result{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo {
+			fmt.Println(line)
+		}
+		name, r, ok := parseBenchLine(line)
+		if ok {
+			results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	} else if echo {
+		// Raw text already went to stdout; don't interleave JSON with it.
+		fmt.Fprintln(os.Stderr, "benchjson: no -o file; JSON summary suppressed in pipe mode")
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	// encoding/json sorts map keys, so summary files diff cleanly across runs.
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine extracts one "BenchmarkName-N  iters  X ns/op [Y B/op  Z
+// allocs/op]" line; anything else reports ok = false.
+func parseBenchLine(line string) (string, result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so keys are stable across machines.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var r result
+	var seen bool
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		}
+	}
+	return name, r, seen
+}

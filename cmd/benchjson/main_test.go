@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	name, r, ok := parseBenchLine("BenchmarkRunTraceOff-8   \t     100\t  11022338 ns/op\t  131072 B/op\t      52 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if name != "BenchmarkRunTraceOff" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", name)
+	}
+	if r.NsPerOp != 11022338 {
+		t.Errorf("ns/op = %g", r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 131072 {
+		t.Errorf("B/op = %v", r.BytesPerOp)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 52 {
+		t.Errorf("allocs/op = %v", r.AllocsPerOp)
+	}
+}
+
+func TestParseBenchLineNoBenchmem(t *testing.T) {
+	name, r, ok := parseBenchLine("BenchmarkStep-16 \t 504 \t 2230912 ns/op")
+	if !ok || name != "BenchmarkStep" {
+		t.Fatalf("parsed %q ok=%v", name, ok)
+	}
+	if r.BytesPerOp != nil || r.AllocsPerOp != nil {
+		t.Error("memory stats invented for a non-benchmem line")
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro/internal/sim\t12.3s",
+		"BenchmarkBroken-8", // no measurements
+		"",
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Errorf("parsed noise line %q", line)
+		}
+	}
+}
+
+func TestParseBenchLineKeepsNonNumericSuffix(t *testing.T) {
+	name, _, ok := parseBenchLine("BenchmarkRun/trace-off 100 50 ns/op")
+	if !ok || name != "BenchmarkRun/trace-off" {
+		t.Errorf("name = %q ok=%v (non-GOMAXPROCS dash must survive)", name, ok)
+	}
+}

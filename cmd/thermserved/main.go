@@ -4,7 +4,9 @@
 //
 // Usage:
 //
-//	thermserved [-addr :8080] [-workers N] [-ttl 1h] [-data-dir DIR] [-log-level info] [-debug-addr :6060]
+//	thermserved [-addr :8080] [-workers N] [-ttl 1h] [-data-dir DIR]
+//	            [-flight-dir DIR] [-temp-ceiling C] [-stall-deadline 5m]
+//	            [-log-level info] [-debug-addr :6060]
 //
 // Endpoints:
 //
@@ -13,6 +15,8 @@
 //	GET    /v1/jobs/{id}        status + progress
 //	GET    /v1/jobs/{id}/result rows as JSON
 //	GET    /v1/jobs/{id}/events RL decision trace as JSONL
+//	GET    /v1/jobs/{id}/live   SSE stream of decision epochs while running
+//	GET    /v1/jobs/{id}/trace  span trace (?format=chrome for Perfetto, jsonl)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/checkpoints      Q-table checkpoints (POST/GET/DELETE .../{name})
 //	GET    /healthz             liveness
@@ -26,9 +30,20 @@
 // for warm_start submissions. An empty -data-dir (the default) keeps the
 // store purely in memory.
 //
+// With a data dir every finished job's span trace is also archived under
+// DIR/traces (newest -trace-keep retained), so /trace keeps answering after
+// the job is evicted from memory.
+//
+// -flight-dir arms the anomaly flight recorder: thermal samples above
+// -temp-ceiling, NaN/Inf temperatures or metrics, and jobs making no
+// progress for -stall-deadline each dump the last spans and decision events
+// to DIR/flightrec-<job>.json and bump the flightrec_alerts_total counter.
+//
 // -debug-addr mounts net/http/pprof on a separate listener (never on the
-// public address). -log-level debug additionally logs every RL decision
-// epoch and every HTTP request.
+// public address); worker goroutines carry pprof labels (job, cell), so
+// /debug/pprof/goroutine?debug=1 attributes stacks to the cell being run.
+// -log-level debug additionally logs every RL decision epoch and every HTTP
+// request.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
 // requests drain, the pool cancels and finalizes running jobs, and with
@@ -62,8 +77,12 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for the durable job journal and checkpoints (empty = in-memory only)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
+	flightDir := flag.String("flight-dir", "", "directory for anomaly flight-recorder dumps (empty = recorder disabled)")
+	tempCeiling := flag.Float64("temp-ceiling", 0, "core temperature (C) above which a run trips a thermal-runaway alert (0 = ceiling check disabled)")
+	stallDeadline := flag.Duration("stall-deadline", service.DefaultStallDeadline, "no-progress window after which a running job trips a stall alert")
+	traceKeep := flag.Int("trace-keep", durable.DefaultTraceKeep, "archived span traces retained under the data dir")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-addr :8080] [-workers N] [-ttl 1h] [-data-dir DIR] [-log-level info] [-debug-addr :6060]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-addr :8080] [-workers N] [-ttl 1h] [-data-dir DIR] [-flight-dir DIR] [-temp-ceiling C] [-stall-deadline 5m] [-log-level info] [-debug-addr :6060]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,6 +101,17 @@ func main() {
 	store := service.NewStore(*ttl)
 	pool := service.NewPool(store, *workers)
 
+	// Arm the flight recorder before any job can run — including the ones the
+	// journal recovery below re-enqueues.
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "thermserved:", err)
+			os.Exit(1)
+		}
+		pool.EnableFlightRecorder(*flightDir, *tempCeiling, *stallDeadline)
+		log.Info("flight recorder armed", "dir", *flightDir, "temp_ceiling_c", *tempCeiling, "stall_deadline", *stallDeadline)
+	}
+
 	// With a data dir, attach the journal and checkpoint store and replay
 	// whatever the last process left behind — before the listener opens, so
 	// no client ever observes the pre-recovery state.
@@ -97,8 +127,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "thermserved:", err)
 			os.Exit(1)
 		}
+		traces, err := durable.OpenTraces(filepath.Join(*dataDir, "traces"), *traceKeep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thermserved:", err)
+			os.Exit(1)
+		}
 		store.SetJournal(journal)
 		pool.SetCheckpoints(checkpoints)
+		pool.SetTraceStore(traces)
 		restored, resumed := pool.Recover(journal.Recovered())
 		log.Info("durable store attached", "data_dir", *dataDir, "restored_jobs", restored, "resumed_jobs", resumed)
 	}

@@ -16,6 +16,11 @@
 // FILE after the experiments finish; "-" writes to stderr so it composes
 // with -json on stdout. -log-level debug logs every decision epoch live.
 //
+// -trace FILE dumps the hierarchical span trace (run → window/epoch spans
+// with per-core thermal and RL attributes) after the experiments finish. A
+// .jsonl suffix selects the archival one-span-per-line form; any other name
+// gets Chrome trace-event JSON, loadable in chrome://tracing or Perfetto.
+//
 // -save-agent FILE persists the RL agent's learned state (live Q-table,
 // exploration-end snapshot, learning rate) from the last proposed-policy
 // run; -load-agent FILE warm-starts every proposed-policy run from such a
@@ -31,6 +36,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +52,7 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	eventsOut := flag.String("events", "", "write the RL decision-event trace as JSONL to this file (\"-\" = stderr)")
+	traceOut := flag.String("trace", "", "write the run/window/epoch span trace to this file (.jsonl = archival JSONL, anything else = Chrome trace-event JSON for Perfetto)")
 	saveAgent := flag.String("save-agent", "", "write the RL agent state of the last proposed-policy run to this file")
 	loadAgent := flag.String("load-agent", "", "warm-start proposed-policy runs from RL agent state in this file")
 	flag.Usage = func() {
@@ -86,6 +93,11 @@ func main() {
 		recorder = telemetry.NewRecorder(0)
 		cfg.Run.Recorder = recorder
 	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(0)
+		cfg.Run.Tracer = tracer
+	}
 
 	if *loadAgent != "" {
 		sa, err := loadAgentFile(*loadAgent)
@@ -122,6 +134,7 @@ func main() {
 			os.Exit(1)
 		}
 		dumpEvents(recorder, *eventsOut)
+		dumpTrace(tracer, *traceOut)
 		saveAgentFile(lastAgent, *saveAgent)
 		return
 	}
@@ -136,6 +149,7 @@ func main() {
 		fmt.Printf("=== %s (completed in %v) ===\n%s\n", id, time.Since(start).Round(time.Millisecond), out)
 	}
 	dumpEvents(recorder, *eventsOut)
+	dumpTrace(tracer, *traceOut)
 	saveAgentFile(lastAgent, *saveAgent)
 }
 
@@ -200,5 +214,35 @@ func dumpEvents(rec *telemetry.Recorder, path string) {
 	}
 	if n := rec.Dropped(); n > 0 {
 		fmt.Fprintf(os.Stderr, "thermsim: events: ring buffer dropped the oldest %d events (kept %d)\n", n, rec.Len())
+	}
+}
+
+// dumpTrace writes the collected span trace to path: a .jsonl suffix selects
+// the archival one-span-per-line form, anything else the Chrome trace-event
+// JSON that chrome://tracing and Perfetto open directly.
+func dumpTrace(tr *telemetry.Tracer, path string) {
+	if tr == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim: trace:", err)
+		os.Exit(1)
+	}
+	spans := tr.Snapshot()
+	if strings.HasSuffix(path, ".jsonl") {
+		err = telemetry.WriteSpansJSONL(f, spans)
+	} else {
+		err = telemetry.WriteChromeTrace(f, spans)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim: trace:", err)
+		os.Exit(1)
+	}
+	if n := tr.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "thermsim: trace: span ring dropped the oldest %d spans (kept %d)\n", n, tr.Len())
 	}
 }

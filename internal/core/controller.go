@@ -204,7 +204,13 @@ type Controller struct {
 	// recorder, when attached, receives one telemetry.DecisionEvent per
 	// epoch (the observable trace of the paper's re-learning behaviour).
 	recorder *telemetry.Recorder
-	log      *slog.Logger
+	// tracer, when attached, receives one epoch span per decision epoch
+	// under traceSpan (the run span). wallEpochStartUS anchors each epoch
+	// span on the wall-clock timeline so epochs partition the run span.
+	tracer           *telemetry.Tracer
+	traceSpan        telemetry.SpanID
+	wallEpochStartUS int64
+	log              *slog.Logger
 }
 
 // New creates a controller attached to a platform. The platform should be
@@ -341,6 +347,16 @@ func (c *Controller) RecordHistory(on bool) { c.recordHistory = on }
 // The recorder is bounded, so attaching costs O(capacity) memory however
 // long the run.
 func (c *Controller) AttachRecorder(r *telemetry.Recorder) { c.recorder = r }
+
+// AttachTracer makes the controller emit one epoch span per decision epoch,
+// parented under runSpan. Epoch spans carry the observed state, applied
+// action, granted reward, learning phase, exploration flag and any
+// variation-detector verdict — Algorithm 1 rendered on a timeline.
+func (c *Controller) AttachTracer(t *telemetry.Tracer, runSpan telemetry.SpanID) {
+	c.tracer = t
+	c.traceSpan = runSpan
+	c.wallEpochStartUS = t.Now()
+}
 
 // History returns the recorded epochs (empty unless RecordHistory(true)).
 func (c *Controller) History() []EpochRecord { return c.history }
@@ -524,9 +540,30 @@ func (c *Controller) endEpoch() {
 			Action:         action,
 			Reward:         reward,
 			Alpha:          c.agent.Alpha(),
+			Phase:          c.agent.Phase().String(),
+			Explored:       c.agent.LastSelectionExplored(),
 			Kind:           kind,
 			SwitchDetected: switched,
 		})
+	}
+	if c.tracer != nil {
+		kind, switched := eventKind(event)
+		wallNow := c.tracer.Now()
+		c.tracer.Record(c.traceSpan, telemetry.KindEpoch,
+			fmt.Sprintf("epoch %d", c.localEpochs),
+			c.wallEpochStartUS, wallNow-c.wallEpochStartUS,
+			telemetry.Num("epoch", float64(c.localEpochs)),
+			telemetry.Num("time_s", now),
+			telemetry.Str("workload", c.p.Workload().Name()),
+			telemetry.Num("state", float64(state)),
+			telemetry.Num("action", float64(action)),
+			telemetry.Num("reward", reward),
+			telemetry.Num("alpha", c.agent.Alpha()),
+			telemetry.Str("phase", c.agent.Phase().String()),
+			telemetry.Bool("explored", c.agent.LastSelectionExplored()),
+			telemetry.Str("event", kind),
+			telemetry.Bool("switch_detected", switched))
+		c.wallEpochStartUS = wallNow
 	}
 	if c.log.Enabled(context.Background(), slog.LevelDebug) {
 		c.log.Debug("epoch",

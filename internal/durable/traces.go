@@ -1,0 +1,151 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// ErrNoTrace is returned when a job has no archived trace.
+var ErrNoTrace = errors.New("durable: no archived trace")
+
+// DefaultTraceKeep bounds how many archived traces survive pruning when the
+// caller passes a non-positive keep count.
+const DefaultTraceKeep = 64
+
+// traceJobRE guards archive file names against path traversal; job IDs are
+// "job-%06d" but recovered journals may carry arbitrary strings.
+var traceJobRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// TraceStore archives the span traces of finished jobs as JSONL files, one
+// per job, so a trace outlives its job's in-memory eviction. The store prunes
+// itself to the newest keep archives (job IDs sort chronologically), keeping
+// disk usage bounded however long the server runs.
+type TraceStore struct {
+	mu   sync.Mutex
+	dir  string
+	keep int
+}
+
+// OpenTraces opens (creating if needed) a trace archive under dir, retaining
+// the newest keep traces (DefaultTraceKeep when keep <= 0).
+func OpenTraces(dir string, keep int) (*TraceStore, error) {
+	if keep <= 0 {
+		keep = DefaultTraceKeep
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: open traces: %w", err)
+	}
+	return &TraceStore{dir: dir, keep: keep}, nil
+}
+
+func (ts *TraceStore) path(job string) string {
+	return filepath.Join(ts.dir, "trace-"+job+".jsonl")
+}
+
+// Save archives the spans of one job atomically (write-temp + rename) and
+// prunes the oldest archives past the retention bound.
+func (ts *TraceStore) Save(job string, spans []telemetry.Span) error {
+	if !traceJobRE.MatchString(job) {
+		return fmt.Errorf("durable: bad trace job name %q", job)
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	tmp := ts.path(job) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: save trace: %w", err)
+	}
+	if err := telemetry.WriteSpansJSONL(f, spans); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: save trace %s: %w", job, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: save trace %s: %w", job, err)
+	}
+	if err := os.Rename(tmp, ts.path(job)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: save trace %s: %w", job, err)
+	}
+	ts.pruneLocked()
+	return nil
+}
+
+// Load reads back one job's archived spans (ErrNoTrace when absent).
+func (ts *TraceStore) Load(job string) ([]telemetry.Span, error) {
+	if !traceJobRE.MatchString(job) {
+		return nil, ErrNoTrace
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	f, err := os.Open(ts.path(job))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoTrace
+		}
+		return nil, fmt.Errorf("durable: load trace %s: %w", job, err)
+	}
+	defer f.Close()
+	return telemetry.DecodeSpansJSONL(f)
+}
+
+// Delete removes one job's archive (idempotent).
+func (ts *TraceStore) Delete(job string) error {
+	if !traceJobRE.MatchString(job) {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if err := os.Remove(ts.path(job)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("durable: delete trace %s: %w", job, err)
+	}
+	return nil
+}
+
+// List returns the jobs with archived traces, oldest first.
+func (ts *TraceStore) List() []string {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.listLocked()
+}
+
+func (ts *TraceStore) listLocked() []string {
+	entries, err := os.ReadDir(ts.dir)
+	if err != nil {
+		return nil
+	}
+	var jobs []string
+	for _, e := range entries {
+		name := e.Name()
+		job, ok := strings.CutPrefix(name, "trace-")
+		if !ok {
+			continue
+		}
+		job, ok = strings.CutSuffix(job, ".jsonl")
+		if !ok {
+			continue
+		}
+		jobs = append(jobs, job)
+	}
+	sort.Strings(jobs)
+	return jobs
+}
+
+// pruneLocked drops the oldest archives beyond the retention bound. Job IDs
+// are zero-padded sequence numbers, so lexicographic order is age order.
+func (ts *TraceStore) pruneLocked() {
+	jobs := ts.listLocked()
+	for len(jobs) > ts.keep {
+		os.Remove(ts.path(jobs[0]))
+		jobs = jobs[1:]
+	}
+}

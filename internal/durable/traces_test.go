@@ -1,0 +1,124 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func traceSpans(n int) []telemetry.Span {
+	spans := make([]telemetry.Span, n)
+	for i := range spans {
+		spans[i] = telemetry.Span{
+			ID: telemetry.SpanID(i + 1), Kind: telemetry.KindRun,
+			Name: fmt.Sprintf("run %d", i), StartUS: int64(i * 100), DurUS: 50,
+			Attrs: []telemetry.Attr{telemetry.Num("peak_c", 71.5)},
+		}
+	}
+	return spans
+}
+
+func TestTraceStoreRoundTrip(t *testing.T) {
+	ts, err := OpenTraces(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := traceSpans(3)
+	if err := ts.Save("job-000001", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ts.Load("job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d spans, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Name != want[i].Name || got[i].StartUS != want[i].StartUS {
+			t.Errorf("span %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, num, ok := got[0].Attr("peak_c"); !ok || num != 71.5 {
+		t.Errorf("attr lost in round trip: %v %v", num, ok)
+	}
+}
+
+func TestTraceStoreMissing(t *testing.T) {
+	ts, err := OpenTraces(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.Load("job-000042"); !errors.Is(err, ErrNoTrace) {
+		t.Fatalf("missing trace: %v, want ErrNoTrace", err)
+	}
+}
+
+func TestTraceStoreDeleteIdempotent(t *testing.T) {
+	ts, err := OpenTraces(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Save("job-000001", traceSpans(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Delete("job-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Delete("job-000001"); err != nil {
+		t.Fatalf("second delete: %v", err)
+	}
+	if _, err := ts.Load("job-000001"); !errors.Is(err, ErrNoTrace) {
+		t.Fatalf("after delete: %v, want ErrNoTrace", err)
+	}
+}
+
+func TestTraceStorePrunesOldest(t *testing.T) {
+	ts, err := OpenTraces(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := ts.Save(fmt.Sprintf("job-%06d", i), traceSpans(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := ts.List()
+	want := []string{"job-000003", "job-000004", "job-000005"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("after prune: %v, want %v", got, want)
+	}
+	if _, err := ts.Load("job-000001"); !errors.Is(err, ErrNoTrace) {
+		t.Fatalf("pruned trace still loadable: %v", err)
+	}
+}
+
+func TestTraceStoreRejectsBadNames(t *testing.T) {
+	ts, err := OpenTraces(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range []string{"", "../escape", "a/b", ".hidden"} {
+		if err := ts.Save(job, traceSpans(1)); err == nil {
+			t.Errorf("Save(%q) accepted", job)
+		}
+		if _, err := ts.Load(job); !errors.Is(err, ErrNoTrace) {
+			t.Errorf("Load(%q): %v, want ErrNoTrace", job, err)
+		}
+		if err := ts.Delete(job); err != nil {
+			t.Errorf("Delete(%q): %v, want nil no-op", job, err)
+		}
+	}
+}
+
+func TestTraceStoreDefaultKeep(t *testing.T) {
+	ts, err := OpenTraces(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.keep != DefaultTraceKeep {
+		t.Fatalf("keep = %d, want %d", ts.keep, DefaultTraceKeep)
+	}
+}

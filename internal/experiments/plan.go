@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"slices"
+
+	"repro/internal/telemetry"
 )
 
 // Cell is one independently runnable unit of an experiment. Cells of one
@@ -34,6 +36,16 @@ func assembleAs[T any](rows []any) any {
 	return out
 }
 
+// traceCfg threads a span carried on ctx (the service's per-cell span) into
+// the simulation config, so runs executed by this cell nest under it.
+func traceCfg(ctx context.Context, cfg Config) Config {
+	if tr, span := telemetry.SpanFromContext(ctx); tr != nil {
+		cfg.Run.Tracer = tr
+		cfg.Run.TraceParent = span
+	}
+	return cfg
+}
+
 // Cells decomposes experiment id under cfg into independently runnable
 // cells plus the assembler that merges their outputs. Campaign-shaped
 // experiments fan out per cell — suite and table2 per (app, policy) run,
@@ -48,7 +60,7 @@ func Cells(cfg Config, id string) ([]Cell, Assemble, error) {
 			c := c
 			cells[i] = Cell{
 				Key: fmt.Sprintf("suite/%s/%s", c.App, c.Policy),
-				Run: func(context.Context) (any, error) { return runSuiteCell(cfg, c) },
+				Run: func(ctx context.Context) (any, error) { return runSuiteCell(traceCfg(ctx, cfg), c) },
 			}
 		}
 		return cells, assembleAs[SuiteRow], nil
@@ -59,7 +71,7 @@ func Cells(cfg Config, id string) ([]Cell, Assemble, error) {
 			c := c
 			cells[i] = Cell{
 				Key: fmt.Sprintf("table2/%s/%v/%s", c.App, c.DataSet, c.Policy),
-				Run: func(context.Context) (any, error) { return runTable2Cell(cfg, c) },
+				Run: func(ctx context.Context) (any, error) { return runTable2Cell(traceCfg(ctx, cfg), c) },
 			}
 		}
 		return cells, assembleAs[Table2Cell], nil
@@ -70,7 +82,7 @@ func Cells(cfg Config, id string) ([]Cell, Assemble, error) {
 			app := app
 			cells[i] = Cell{
 				Key: "seeds/" + app,
-				Run: func(ctx context.Context) (any, error) { return runSeedStudyCell(ctx, cfg, app, seeds) },
+				Run: func(ctx context.Context) (any, error) { return runSeedStudyCell(ctx, traceCfg(ctx, cfg), app, seeds) },
 			}
 		}
 		return cells, assembleAs[SeedStudyRow], nil
@@ -81,7 +93,7 @@ func Cells(cfg Config, id string) ([]Cell, Assemble, error) {
 			c := c
 			cells[i] = Cell{
 				Key: fmt.Sprintf("concurrent/%s+%s/%s", c.Mix[0], c.Mix[1], c.Policy),
-				Run: func(context.Context) (any, error) { return runConcurrentCell(cfg, c) },
+				Run: func(ctx context.Context) (any, error) { return runConcurrentCell(traceCfg(ctx, cfg), c) },
 			}
 		}
 		return cells, assembleAs[ConcurrentRow], nil
@@ -91,7 +103,7 @@ func Cells(cfg Config, id string) ([]Cell, Assemble, error) {
 		}
 		cell := Cell{
 			Key: id,
-			Run: func(ctx context.Context) (any, error) { return RunRowsCtx(ctx, cfg, id) },
+			Run: func(ctx context.Context) (any, error) { return RunRowsCtx(ctx, traceCfg(ctx, cfg), id) },
 		}
 		assemble := func(rows []any) any {
 			if len(rows) == 1 && rows[0] != nil {

@@ -192,6 +192,10 @@ type Agent struct {
 	relearns  int
 	restores  int
 	adoptions int
+	// lastExplored records whether the most recent action selection was
+	// exploratory (random) rather than greedy — observable per-epoch in the
+	// decision trace.
+	lastExplored bool
 }
 
 // NewAgent builds a fresh agent with alpha = 1 (full exploration).
@@ -249,9 +253,11 @@ func (a *Agent) SelectAction(state int) int {
 func (a *Agent) SelectActionSticky(state, prevAction int) int {
 	if a.rng.Float64() < a.alpha {
 		mActionsExplore.Inc()
+		a.lastExplored = true
 		return a.rng.Intn(a.cfg.NumActions)
 	}
 	mActionsGreedy.Inc()
+	a.lastExplored = false
 	best := a.q.BestAction(state)
 	if prevAction >= 0 && prevAction < a.cfg.NumActions && prevAction != best &&
 		a.q.Get(state, prevAction) >= a.q.Get(state, best)-a.cfg.Hysteresis {
@@ -259,6 +265,10 @@ func (a *Agent) SelectActionSticky(state, prevAction int) int {
 	}
 	return best
 }
+
+// LastSelectionExplored reports whether the most recent SelectAction /
+// SelectActionSticky call took the exploratory branch.
+func (a *Agent) LastSelectionExplored() bool { return a.lastExplored }
 
 // Observe applies the Eq. 7 update for the transition
 // (prevState, action) -> reward, newState using the current learning rate.

@@ -189,6 +189,8 @@ func (p *Pool) resume(job Job, rows []any, errs []error) {
 	}
 	rec := telemetry.NewRecorder(0)
 	cfg.Run.Recorder = rec
+	tracer := telemetry.NewTracer(0)
+	flight := p.armFlightRecorder(&cfg, tracer, rec)
 	cells, assemble, err := p.plan(cfg, job.Spec.Experiment)
 	if err != nil {
 		fail(fmt.Errorf("service: replan %s: %w", job.ID, err))
@@ -200,6 +202,8 @@ func (p *Pool) resume(job Job, rows []any, errs []error) {
 		return
 	}
 	p.store.BindRecorder(job.ID, rec)
+	p.store.BindTracer(job.ID, tracer)
+	flight.SetJob(job.ID)
 	jctx, jcancel := context.WithCancel(p.ctx)
 	p.store.BindCancel(job.ID, jcancel)
 	jr := &jobRun{
@@ -208,9 +212,17 @@ func (p *Pool) resume(job Job, rows []any, errs []error) {
 		cancel:      jcancel,
 		assemble:    assemble,
 		submittedAt: time.Now(),
+		tracer:      tracer,
+		events:      rec,
+		flight:      flight,
 		rows:        rows,
 		errs:        errs,
 	}
+	jr.jobSpan = tracer.Start(0, telemetry.KindJob, job.ID,
+		telemetry.Str("experiment", job.Spec.Experiment),
+		telemetry.Num("cells", float64(len(cells))),
+		telemetry.Str("resumed", "true"))
+	p.watchStall(jr)
 	var tasks []task
 	for i := range cells {
 		if rows[i] != nil || errs[i] != nil {

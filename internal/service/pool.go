@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,18 @@ type Pool struct {
 	// Q-table checkpoints.
 	checkpoints *durable.CheckpointStore
 
+	// traces, when attached, archives each finished job's span trace so it
+	// outlives the job's in-memory eviction.
+	traces *durable.TraceStore
+
+	// Flight-recorder configuration (EnableFlightRecorder): anomaly dumps
+	// land in flightDir, temperatures above tempCeilingC trip thermal-runaway
+	// alerts, and a running job making no progress for stallDeadline trips a
+	// stall alert.
+	flightDir     string
+	tempCeilingC  float64
+	stallDeadline time.Duration
+
 	// reg is the pool-owned metrics registry; the HTTP server adds its own
 	// request metrics to it and exposes it on /metrics.
 	reg      *telemetry.Registry
@@ -64,6 +77,13 @@ type jobRun struct {
 	assemble experiments.Assemble
 	// submittedAt anchors the per-cell queue wait-time measurement.
 	submittedAt time.Time
+	// tracer collects the job's span hierarchy under jobSpan; events is the
+	// job's decision-event recorder (also the stall watchdog's progress
+	// signal); flight is the job's anomaly recorder (nil when disabled).
+	tracer  *telemetry.Tracer
+	jobSpan telemetry.SpanID
+	events  *telemetry.Recorder
+	flight  *telemetry.FlightRecorder
 
 	mu        sync.Mutex
 	rows      []any
@@ -135,12 +155,16 @@ func (p *Pool) Submit(spec Spec) (Job, error) {
 	}
 	rec := telemetry.NewRecorder(0)
 	cfg.Run.Recorder = rec
+	tracer := telemetry.NewTracer(0)
+	flight := p.armFlightRecorder(&cfg, tracer, rec)
 	cells, assemble, err := p.plan(cfg, spec.Experiment)
 	if err != nil {
 		return Job{}, err
 	}
 	job := p.store.Create(spec, len(cells))
 	p.store.BindRecorder(job.ID, rec)
+	p.store.BindTracer(job.ID, tracer)
+	flight.SetJob(job.ID)
 	jctx, jcancel := context.WithCancel(p.ctx)
 	p.store.BindCancel(job.ID, jcancel)
 	jr := &jobRun{
@@ -149,10 +173,18 @@ func (p *Pool) Submit(spec Spec) (Job, error) {
 		cancel:      jcancel,
 		assemble:    assemble,
 		submittedAt: time.Now(),
+		tracer:      tracer,
+		events:      rec,
+		flight:      flight,
 		rows:        make([]any, len(cells)),
 		errs:        make([]error, len(cells)),
 		remaining:   len(cells),
 	}
+	jr.jobSpan = tracer.Start(0, telemetry.KindJob, job.ID,
+		telemetry.Str("experiment", spec.Experiment),
+		telemetry.Num("cells", float64(len(cells))),
+		telemetry.Bool("quick", spec.Quick))
+	p.watchStall(jr)
 	tasks := make([]task, len(cells))
 	for i, cell := range cells {
 		tasks[i] = task{jr: jr, idx: i, cell: cell}
@@ -234,7 +266,20 @@ func (p *Pool) runTask(t task) {
 	}
 	p.busy.Add(1)
 	start := time.Now()
-	row, err := runCell(t.jr.ctx, t.cell)
+	cellSpan := t.jr.tracer.Start(t.jr.jobSpan, telemetry.KindCell, t.cell.Key)
+	ctx := telemetry.ContextWithSpan(t.jr.ctx, t.jr.tracer, cellSpan)
+	var row any
+	var err error
+	// Label the worker goroutine for the duration of the cell, so CPU and
+	// goroutine profiles attribute samples to (job, cell).
+	pprof.Do(ctx, pprof.Labels("job", t.jr.id, "cell", t.cell.Key), func(ctx context.Context) {
+		row, err = runCell(ctx, t.cell)
+	})
+	if err != nil {
+		t.jr.tracer.End(cellSpan, telemetry.Str("error", err.Error()))
+	} else {
+		t.jr.tracer.End(cellSpan)
+	}
 	p.cellRun.Observe(time.Since(start).Seconds())
 	p.busy.Add(-1)
 	// An error caused by the job's own cancellation is a skip, not a
@@ -299,10 +344,13 @@ func (p *Pool) finalize(jr *jobRun) {
 	rows := jr.assemble(jr.rows)
 	err := errors.Join(jr.errs...)
 	p.store.Finish(jr.id, rows, err, jr.ctx.Err() != nil)
-	if job, ok := p.store.Get(jr.id); ok {
+	job, ok := p.store.Get(jr.id)
+	if ok {
 		p.log.Info("job finished", "job", jr.id, "state", string(job.State),
 			"done", job.Progress.DoneCells, "failed", job.Progress.FailedCells, "wall_s", job.WallClockS)
 	}
+	jr.tracer.End(jr.jobSpan, telemetry.Str("state", string(job.State)))
+	p.archiveTrace(jr)
 }
 
 // Workers is the configured worker count.

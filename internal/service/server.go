@@ -23,6 +23,8 @@ import (
 //	GET    /v1/jobs/{id}        status and progress
 //	GET    /v1/jobs/{id}/result assembled rows of a finished job
 //	GET    /v1/jobs/{id}/events RL decision-event trace as JSONL
+//	GET    /v1/jobs/{id}/live   live SSE stream of decision epochs
+//	GET    /v1/jobs/{id}/trace  span trace (?format=chrome|jsonl)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/checkpoints        list stored Q-table checkpoints
 //	POST   /v1/checkpoints/{name} store agent state (body = rl.Agent JSON)
@@ -40,29 +42,36 @@ import (
 // the pool's registry. /metrics merges that registry with the process-wide
 // default one (simulation and RL metrics).
 type Server struct {
-	store    *Store
-	pool     *Pool
-	mux      *http.ServeMux
-	reg      *telemetry.Registry
-	inFlight *telemetry.Gauge
+	store       *Store
+	pool        *Pool
+	mux         *http.ServeMux
+	reg         *telemetry.Registry
+	inFlight    *telemetry.Gauge
+	liveStreams *telemetry.Gauge
+	// livePoll is the SSE drain interval (defaultLivePoll; tests shorten it).
+	livePoll time.Duration
 	log      *slog.Logger
 }
 
 // NewServer wires the handlers over one store/pool pair.
 func NewServer(store *Store, pool *Pool) *Server {
 	s := &Server{
-		store: store,
-		pool:  pool,
-		mux:   http.NewServeMux(),
-		reg:   pool.Registry(),
-		log:   telemetry.Component("server"),
+		store:    store,
+		pool:     pool,
+		mux:      http.NewServeMux(),
+		reg:      pool.Registry(),
+		livePoll: defaultLivePoll,
+		log:      telemetry.Component("server"),
 	}
 	s.inFlight = s.reg.Gauge("thermserved_http_in_flight", "HTTP requests currently being served.")
+	s.liveStreams = s.reg.Gauge("thermserved_live_streams", "Live SSE job streams currently connected.")
 	s.handle("POST /v1/jobs", "/v1/jobs", s.handleSubmit)
 	s.handle("GET /v1/jobs", "/v1/jobs", s.handleList)
 	s.handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleGet)
 	s.handle("GET /v1/jobs/{id}/result", "/v1/jobs/{id}/result", s.handleResult)
 	s.handle("GET /v1/jobs/{id}/events", "/v1/jobs/{id}/events", s.handleEvents)
+	s.handle("GET /v1/jobs/{id}/live", "/v1/jobs/{id}/live", s.handleLive)
+	s.handle("GET /v1/jobs/{id}/trace", "/v1/jobs/{id}/trace", s.handleTrace)
 	s.handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.handleCancel)
 	s.handle("GET /v1/checkpoints", "/v1/checkpoints", s.handleCheckpointList)
 	s.handle("POST /v1/checkpoints/{name}", "/v1/checkpoints/{name}", s.handleCheckpointPut)
@@ -109,6 +118,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer, so streaming handlers (the SSE live
+// stream) can push partial responses through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // writeJSON emits v with the given status.

@@ -31,6 +31,9 @@ type record struct {
 	// events is the job's bounded decision-event recorder; bound by the
 	// pool at submission, drained by the events endpoint.
 	events *telemetry.Recorder
+	// tracer is the job's span tracer; bound by the pool at submission,
+	// exported by the trace endpoint.
+	tracer *telemetry.Tracer
 	// done is closed on the transition into a terminal state.
 	done chan struct{}
 }
@@ -47,6 +50,10 @@ type Store struct {
 	// journal, when attached, receives one durable record per lifecycle
 	// transition (submit, cell outcome, cancel request, finish, evict).
 	journal Journal
+	// onEvict, when set, observes each evicted job ID (the pool uses it to
+	// drop the job's archived trace alongside the in-memory state). Called
+	// with s.mu held, so the hook must not call back into the store.
+	onEvict func(id string)
 	log     *slog.Logger
 }
 
@@ -216,6 +223,36 @@ func (s *Store) BindRecorder(id string, events *telemetry.Recorder) {
 	}
 }
 
+// BindTracer attaches the job's span tracer.
+func (s *Store) BindTracer(id string, tracer *telemetry.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.jobs[id]; ok {
+		rec.tracer = tracer
+	}
+}
+
+// Tracer returns the job's span tracer (nil when none was bound; the tracer
+// itself is safe to snapshot while the job runs).
+func (s *Store) Tracer(id string) (*telemetry.Tracer, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return rec.tracer, true
+}
+
+// SetOnEvict installs a hook observing evicted job IDs. Set before serving
+// traffic; the hook runs under the store lock and must not re-enter the
+// store.
+func (s *Store) SetOnEvict(fn func(id string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onEvict = fn
+}
+
 // EventsRecorder returns the job's decision-event recorder (nil when none
 // was bound; the recorder itself is safe to read while the job runs).
 func (s *Store) EventsRecorder(id string) (*telemetry.Recorder, bool) {
@@ -375,6 +412,9 @@ func (s *Store) evictLocked() int {
 			// Dropped from the durable state too, so compaction cannot
 			// resurrect an evicted job and the snapshot stays bounded.
 			s.journalLocked(durable.Record{Kind: durable.KindEvict, Job: id})
+			if s.onEvict != nil {
+				s.onEvict(id)
+			}
 			n++
 		}
 	}

@@ -87,8 +87,10 @@ type ProposedPolicy struct {
 	// History enables per-epoch recording on the controller.
 	History bool
 
-	ctl *core.Controller
-	rec *telemetry.Recorder
+	ctl       *core.Controller
+	rec       *telemetry.Recorder
+	tracer    *telemetry.Tracer
+	traceSpan telemetry.SpanID
 }
 
 // Name returns "proposed".
@@ -108,6 +110,9 @@ func (pp *ProposedPolicy) Attach(p *platform.Platform) error {
 	if pp.rec != nil {
 		ctl.AttachRecorder(pp.rec)
 	}
+	if pp.tracer != nil {
+		ctl.AttachTracer(pp.tracer, pp.traceSpan)
+	}
 	pp.ctl = ctl
 	return nil
 }
@@ -118,6 +123,16 @@ func (pp *ProposedPolicy) AttachRecorder(r *telemetry.Recorder) {
 	pp.rec = r
 	if pp.ctl != nil {
 		pp.ctl.AttachRecorder(r)
+	}
+}
+
+// AttachTracer makes the controller emit one epoch span per decision epoch
+// under runSpan, implementing sim.TracerAttacher. Safe to call before or
+// after Attach.
+func (pp *ProposedPolicy) AttachTracer(t *telemetry.Tracer, runSpan telemetry.SpanID) {
+	pp.tracer, pp.traceSpan = t, runSpan
+	if pp.ctl != nil {
+		pp.ctl.AttachTracer(t, runSpan)
 	}
 }
 

@@ -55,6 +55,23 @@ type RunConfig struct {
 	// run completes, for policies that expose one (the RL controller). The
 	// thermsim -save-agent flag uses it to persist what the run learned.
 	AgentObserver func(*rl.Agent)
+	// Tracer, when non-nil, collects hierarchical run/window/epoch spans;
+	// TraceParent is the span the run span nests under (0 for a root span).
+	// A nil Tracer disables tracing with zero overhead on the step loop.
+	Tracer      *telemetry.Tracer
+	TraceParent telemetry.SpanID
+	// TraceWindowS is the simulated-time width of one window span (the
+	// aggregation granularity of the thermal timeline); default 10 s.
+	TraceWindowS float64
+	// TempCeilingC, when positive, arms the thermal-runaway anomaly check: any
+	// sampled core temperature above the ceiling trips Anomalies. The
+	// ceiling is a fault detector, not a control knob — set it well above
+	// the policies' thermal thresholds.
+	TempCeilingC float64
+	// Anomalies receives thermal-runaway and numeric anomalies detected
+	// while sampling (typically a *telemetry.FlightRecorder). Nil disables
+	// detection.
+	Anomalies telemetry.AnomalySink
 }
 
 // DefaultRunConfig returns the standard configuration.
@@ -66,6 +83,7 @@ func DefaultRunConfig() RunConfig {
 		WarmupSkipS:     45,
 		Cycling:         reliability.DefaultCyclingParams(),
 		Aging:           reliability.DefaultAgingParams(),
+		TraceWindowS:    10,
 	}
 }
 
@@ -111,6 +129,12 @@ type AgentProvider interface {
 	LearningAgent() *rl.Agent
 }
 
+// TracerAttacher is implemented by policies that can emit per-epoch spans
+// under the run span (the proposed RL controller).
+type TracerAttacher interface {
+	AttachTracer(t *telemetry.Tracer, runSpan telemetry.SpanID)
+}
+
 // Run executes the workload under the policy until completion (or MaxSimS)
 // and returns the collected metrics.
 func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) {
@@ -118,27 +142,55 @@ func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) 
 		return nil, fmt.Errorf("sim: RecordIntervalS must be positive, got %g", cfg.RecordIntervalS)
 	}
 	initSimMetrics()
+	var runSpan telemetry.SpanID
+	if cfg.Tracer != nil {
+		runSpan = cfg.Tracer.Start(cfg.TraceParent, telemetry.KindRun,
+			policy.Name()+"/"+work.Name(),
+			telemetry.Str("policy", policy.Name()),
+			telemetry.Str("workload", work.Name()))
+	}
+	fail := func(err error) (*Result, error) {
+		if cfg.Tracer != nil {
+			cfg.Tracer.End(runSpan, telemetry.Str("error", err.Error()))
+		}
+		return nil, err
+	}
 	p := platform.New(cfg.Platform, work)
 	if err := policy.Attach(p); err != nil {
-		return nil, fmt.Errorf("sim: attach %s: %w", policy.Name(), err)
+		return fail(fmt.Errorf("sim: attach %s: %w", policy.Name(), err))
 	}
 	if cfg.Recorder != nil {
 		if ra, ok := policy.(RecorderAttacher); ok {
 			ra.AttachRecorder(cfg.Recorder)
 		}
 	}
+	if cfg.Tracer != nil {
+		if ta, ok := policy.(TracerAttacher); ok {
+			ta.AttachTracer(cfg.Tracer, runSpan)
+		}
+	}
+	guard := newRunGuard(cfg, policy.Name()+"/"+work.Name())
+	windows := newWindowAgg(cfg, runSpan)
 	mt := trace.NewMultiTrace(p.NumCores(), cfg.RecordIntervalS)
 	pt := trace.NewMultiTrace(p.NumCores(), cfg.RecordIntervalS)
 	nextRecord := 0.0
 	steps := int64(0)
 	for !p.Done() {
 		if p.Now() >= cfg.MaxSimS {
-			return nil, fmt.Errorf("sim: %s on %s exceeded max sim time %g s (completed %.1f%% of work)",
-				policy.Name(), work.Name(), cfg.MaxSimS, 100*work.CompletedWork()/work.TotalWork())
+			return fail(fmt.Errorf("sim: %s on %s exceeded max sim time %g s (completed %.1f%% of work)",
+				policy.Name(), work.Name(), cfg.MaxSimS, 100*work.CompletedWork()/work.TotalWork()))
 		}
 		if p.Now()+1e-9 >= nextRecord {
-			mt.Append(p.Temperatures())
-			pt.Append(p.CorePower())
+			temps := p.Temperatures()
+			power := p.CorePower()
+			mt.Append(temps)
+			pt.Append(power)
+			if guard != nil {
+				guard.sample(p.Now(), temps)
+			}
+			if windows != nil {
+				windows.sample(p.Now(), temps, power)
+			}
 			nextRecord += cfg.RecordIntervalS
 		}
 		p.Step()
@@ -146,6 +198,9 @@ func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) 
 		steps++
 	}
 	mSteps.Add(steps)
+	if windows != nil {
+		windows.flush(p.Now())
+	}
 	if cfg.AgentObserver != nil {
 		if ap, ok := policy.(AgentProvider); ok {
 			if a := ap.LearningAgent(); a != nil {
@@ -153,7 +208,21 @@ func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) 
 			}
 		}
 	}
-	return collect(cfg, p, mt, pt, policy.Name(), work.Name()), nil
+	res := collect(cfg, p, mt, pt, policy.Name(), work.Name())
+	if guard != nil {
+		guard.finals(res)
+	}
+	if cfg.Tracer != nil {
+		cfg.Tracer.End(runSpan,
+			telemetry.Num("exec_time_s", res.ExecTimeS),
+			telemetry.Num("peak_c", res.PeakTempC),
+			telemetry.Num("avg_c", res.AvgTempC),
+			telemetry.Num("cycling_mttf_y", res.CyclingMTTF),
+			telemetry.Num("aging_mttf_y", res.AgingMTTF),
+			telemetry.Num("combined_mttf_y", res.CombinedMTTF),
+			telemetry.Num("migrations", float64(res.Migrations)))
+	}
+	return res, nil
 }
 
 func collect(cfg RunConfig, p *platform.Platform, mt, pt *trace.MultiTrace, policy, wl string) *Result {

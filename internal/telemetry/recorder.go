@@ -48,6 +48,12 @@ type DecisionEvent struct {
 	Reward float64 `json:"reward"`
 	// Alpha is the learning rate after the epoch.
 	Alpha float64 `json:"alpha"`
+	// Phase is the agent's learning phase after the epoch (exploration,
+	// exploration-exploitation or exploitation).
+	Phase string `json:"phase,omitempty"`
+	// Explored marks an epoch whose action was picked by exploration rather
+	// than greedily.
+	Explored bool `json:"explored,omitempty"`
 	// Kind is one of the Event* constants.
 	Kind string `json:"kind"`
 	// SwitchDetected marks epochs where the variation detector fired
@@ -69,6 +75,25 @@ type Recorder struct {
 	next    int
 	full    bool
 	dropped int64
+	// total counts every event ever recorded (retained or overwritten); it
+	// is the cursor space of Since.
+	total int64
+}
+
+// Ring overwrites are surfaced process-wide so /metrics shows when decision
+// traces are being truncated (the recorder itself only knows its own drops,
+// which die with the job's eviction).
+var (
+	dropCounterOnce sync.Once
+	dropCounter     *Counter
+)
+
+func recorderDropCounter() *Counter {
+	dropCounterOnce.Do(func() {
+		dropCounter = Default().Counter("telemetry_decision_events_dropped_total",
+			"Decision events overwritten by recorder ring wraparound, across all recorders.")
+	})
+	return dropCounter
 }
 
 // NewRecorder builds a recorder keeping the newest capacity events
@@ -88,6 +113,7 @@ func (r *Recorder) Record(ev DecisionEvent) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.total++
 	if !r.full && len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, ev)
 		return
@@ -96,6 +122,41 @@ func (r *Recorder) Record(ev DecisionEvent) {
 	r.buf[r.next] = ev
 	r.next = (r.next + 1) % len(r.buf)
 	r.dropped++
+	recorderDropCounter().Inc()
+}
+
+// Total returns how many events were ever recorded, including overwritten
+// ones; it only grows, so it doubles as a progress signal for watchdogs.
+func (r *Recorder) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Since returns the events recorded after the given cursor (a value
+// previously returned by Since, or 0 for "from the beginning") plus the new
+// cursor. Events that were already overwritten when Since is called are
+// skipped — the live stream endpoint trades completeness under extreme lag
+// for bounded memory.
+func (r *Recorder) Since(cursor int64) ([]DecisionEvent, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cursor >= r.total {
+		return nil, r.total
+	}
+	n := r.total - cursor
+	if n > int64(len(r.buf)) {
+		n = int64(len(r.buf))
+	}
+	out := make([]DecisionEvent, 0, n)
+	// Oldest-first ordering of the retained ring, then keep the last n.
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out[int64(len(out))-n:], r.total
 }
 
 // Len returns the number of retained events.

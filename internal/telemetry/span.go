@@ -1,0 +1,307 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SpanID identifies one span within a Tracer; 0 means "no span" and is a
+// valid parent for root spans.
+type SpanID uint64
+
+// Span kinds, from the outermost grouping to the innermost unit of work. A
+// job groups the cells of one submitted campaign, a cell is one pool task, a
+// run is one sim.Run inside a cell, a window is one trace-sample aggregation
+// window of a run, and an epoch is one RL decision epoch.
+const (
+	KindJob    = "job"
+	KindCell   = "cell"
+	KindRun    = "run"
+	KindWindow = "window"
+	KindEpoch  = "epoch"
+)
+
+// Attr is one key/value attribute attached to a span: either a string or a
+// number (a union rather than `any`, so recording an attribute never boxes).
+type Attr struct {
+	Key string  `json:"key"`
+	Str string  `json:"str,omitempty"`
+	Num float64 `json:"num,omitempty"`
+	// IsNum selects Num over Str as the value.
+	IsNum bool `json:"is_num,omitempty"`
+}
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Str: value} }
+
+// Num builds a numeric attribute. NaN and Inf (legal in some metrics, e.g.
+// an infinite MTTF when no thermal cycles occurred) degrade to their string
+// form, since JSON has no encoding for them.
+func Num(key string, value float64) Attr {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return Attr{Key: key, Str: strconv.FormatFloat(value, 'g', -1, 64)}
+	}
+	return Attr{Key: key, Num: value, IsNum: true}
+}
+
+// Bool builds a boolean attribute (rendered as the strings true/false).
+func Bool(key string, v bool) Attr {
+	if v {
+		return Attr{Key: key, Str: "true"}
+	}
+	return Attr{Key: key, Str: "false"}
+}
+
+// Span is one timed, attributed unit of work. Times are wall-clock
+// microseconds since the Unix epoch (the Chrome trace-event unit); simulated
+// time, where meaningful, travels in the attributes.
+type Span struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	// Kind is one of the Kind* constants; Name labels the specific span.
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	// Open marks a snapshot of a span that had not ended yet (its DurUS is
+	// the duration up to the snapshot).
+	Open  bool   `json:"open,omitempty"`
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the named attribute rendered as (string, number,
+// found).
+func (s Span) Attr(key string) (string, float64, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Str, a.Num, true
+		}
+	}
+	return "", 0, false
+}
+
+// DefaultTracerCapacity bounds a tracer's completed-span ring when the
+// caller passes a non-positive capacity.
+const DefaultTracerCapacity = 8192
+
+// Tracer collects hierarchical spans into a bounded ring: once full, newly
+// completed spans overwrite the oldest, so the newest N survive however long
+// the traced job runs. It is safe for concurrent use — the cells of one job
+// trace into the same ring from several workers — and every method is
+// nil-receiver safe, so call sites need no tracer-enabled branch: a nil
+// *Tracer is a no-op tracer.
+type Tracer struct {
+	// now returns wall-clock microseconds; injectable for deterministic
+	// tests.
+	now func() int64
+
+	mu      sync.Mutex
+	done    []Span // ring of completed spans
+	next    int
+	full    bool
+	dropped int64
+	lastID  SpanID
+	active  map[SpanID]*Span
+}
+
+// NewTracer builds a tracer keeping the newest capacity completed spans
+// (DefaultTracerCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	return &Tracer{
+		now:    func() int64 { return time.Now().UnixMicro() },
+		done:   make([]Span, 0, capacity),
+		active: make(map[SpanID]*Span),
+	}
+}
+
+// Now returns the tracer's current wall clock in microseconds (0 on a nil
+// tracer).
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}
+
+// Start opens a span under parent (0 for a root span) and returns its ID.
+func (t *Tracer) Start(parent SpanID, kind, name string, attrs ...Attr) SpanID {
+	if t == nil {
+		return 0
+	}
+	start := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lastID++
+	id := t.lastID
+	t.active[id] = &Span{
+		ID:      id,
+		Parent:  parent,
+		Kind:    kind,
+		Name:    name,
+		StartUS: start,
+		Attrs:   attrs,
+	}
+	return id
+}
+
+// Annotate appends attributes to a still-open span (no-op once ended).
+func (t *Tracer) Annotate(id SpanID, attrs ...Attr) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sp, ok := t.active[id]; ok {
+		sp.Attrs = append(sp.Attrs, attrs...)
+	}
+}
+
+// End closes a span, appending any final attributes, and commits it to the
+// ring. Ending an unknown (or already ended) span is a no-op.
+func (t *Tracer) End(id SpanID, attrs ...Attr) {
+	if t == nil || id == 0 {
+		return
+	}
+	end := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp, ok := t.active[id]
+	if !ok {
+		return
+	}
+	delete(t.active, id)
+	sp.DurUS = end - sp.StartUS
+	if sp.DurUS < 0 {
+		sp.DurUS = 0
+	}
+	sp.Attrs = append(sp.Attrs, attrs...)
+	t.commitLocked(*sp)
+}
+
+// Record commits a fully formed span in one call — the epoch path, where
+// both endpoints are known when the span is produced.
+func (t *Tracer) Record(parent SpanID, kind, name string, startUS, durUS int64, attrs ...Attr) SpanID {
+	if t == nil {
+		return 0
+	}
+	if durUS < 0 {
+		durUS = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lastID++
+	id := t.lastID
+	t.commitLocked(Span{
+		ID:      id,
+		Parent:  parent,
+		Kind:    kind,
+		Name:    name,
+		StartUS: startUS,
+		DurUS:   durUS,
+		Attrs:   attrs,
+	})
+	return id
+}
+
+// commitLocked appends one completed span to the ring. Callers hold t.mu.
+func (t *Tracer) commitLocked(sp Span) {
+	if !t.full && len(t.done) < cap(t.done) {
+		t.done = append(t.done, sp)
+		return
+	}
+	t.full = true
+	t.done[t.next] = sp
+	t.next = (t.next + 1) % len(t.done)
+	t.dropped++
+}
+
+// Dropped returns how many completed spans were overwritten by wraparound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len returns the number of retained completed spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.done)
+}
+
+// Snapshot returns the retained spans: completed spans oldest first,
+// followed by the still-open ones (marked Open, with their duration so far),
+// sorted by start time. The result shares nothing with the tracer.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.done)+len(t.active))
+	if t.full {
+		out = append(out, t.done[t.next:]...)
+		out = append(out, t.done[:t.next]...)
+	} else {
+		out = append(out, t.done...)
+	}
+	open := make([]Span, 0, len(t.active))
+	for _, sp := range t.active {
+		cp := *sp
+		cp.Attrs = append([]Attr(nil), sp.Attrs...)
+		cp.Open = true
+		cp.DurUS = now - cp.StartUS
+		if cp.DurUS < 0 {
+			cp.DurUS = 0
+		}
+		open = append(open, cp)
+	}
+	sort.Slice(open, func(i, j int) bool {
+		if open[i].StartUS != open[j].StartUS {
+			return open[i].StartUS < open[j].StartUS
+		}
+		return open[i].ID < open[j].ID
+	})
+	return append(out, open...)
+}
+
+// spanCtxKey carries a (tracer, span) pair through a context.
+type spanCtxKey struct{}
+
+type spanCtxVal struct {
+	tracer *Tracer
+	span   SpanID
+}
+
+// ContextWithSpan returns a context carrying tracer and the current span, so
+// layers that only see a context (the experiment cells) can parent their
+// spans correctly.
+func ContextWithSpan(ctx context.Context, tracer *Tracer, span SpanID) context.Context {
+	if tracer == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, spanCtxVal{tracer: tracer, span: span})
+}
+
+// SpanFromContext returns the tracer and span installed by ContextWithSpan
+// (nil, 0 when none).
+func SpanFromContext(ctx context.Context) (*Tracer, SpanID) {
+	if v, ok := ctx.Value(spanCtxKey{}).(spanCtxVal); ok {
+		return v.tracer, v.span
+	}
+	return nil, 0
+}

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeClock drives a tracer deterministically.
+type fakeClock struct{ us int64 }
+
+func (c *fakeClock) now() int64 { c.us += 100; return c.us }
+
+func newTestTracer(capacity int) *Tracer {
+	tr := NewTracer(capacity)
+	tr.now = (&fakeClock{}).now
+	return tr
+}
+
+func TestTracerHierarchyAndSnapshot(t *testing.T) {
+	tr := newTestTracer(0)
+	job := tr.Start(0, KindJob, "job-000001", Str("experiment", "suite"))
+	cell := tr.Start(job, KindCell, "suite/tachyon/proposed")
+	run := tr.Start(cell, KindRun, "proposed/tachyon")
+	tr.Record(run, KindEpoch, "epoch 1", tr.Now(), 50,
+		Num("state", 3), Num("action", 7), Num("reward", 0.5))
+	tr.End(run, Num("exec_time_s", 12.5))
+	tr.End(cell)
+	tr.End(job, Str("state", "done"))
+
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byKind := map[string]Span{}
+	byID := map[SpanID]Span{}
+	for _, sp := range spans {
+		byKind[sp.Kind] = sp
+		byID[sp.ID] = sp
+		if sp.Open {
+			t.Errorf("span %s still open after End", sp.Name)
+		}
+	}
+	// The chain must nest job -> cell -> run -> epoch.
+	ep := byKind[KindEpoch]
+	if byID[ep.Parent].Kind != KindRun {
+		t.Errorf("epoch parent kind = %q, want run", byID[ep.Parent].Kind)
+	}
+	if byID[byID[ep.Parent].Parent].Kind != KindCell {
+		t.Error("run not parented under cell")
+	}
+	if byID[byID[byID[ep.Parent].Parent].Parent].Kind != KindJob {
+		t.Error("cell not parented under job")
+	}
+	if _, num, ok := ep.Attr("action"); !ok || num != 7 {
+		t.Errorf("epoch action attr = %v, %v", num, ok)
+	}
+	if str, _, ok := byKind[KindJob].Attr("state"); !ok || str != "done" {
+		t.Errorf("job End attrs not appended: %q, %v", str, ok)
+	}
+	if byKind[KindRun].DurUS <= 0 {
+		t.Error("run span has no duration")
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := newTestTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(0, KindEpoch, "e", int64(i*100), 10, Num("i", float64(i)))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("retained %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", tr.Dropped())
+	}
+	spans := tr.Snapshot()
+	if _, num, _ := spans[0].Attr("i"); num != 6 {
+		t.Errorf("oldest retained = %g, want 6", num)
+	}
+	if _, num, _ := spans[3].Attr("i"); num != 9 {
+		t.Errorf("newest retained = %g, want 9", num)
+	}
+}
+
+func TestTracerOpenSpansInSnapshot(t *testing.T) {
+	tr := newTestTracer(0)
+	id := tr.Start(0, KindJob, "running")
+	spans := tr.Snapshot()
+	if len(spans) != 1 || !spans[0].Open {
+		t.Fatalf("open span not snapshotted: %+v", spans)
+	}
+	if spans[0].DurUS <= 0 {
+		t.Error("open span should report duration so far")
+	}
+	tr.End(id)
+	if spans := tr.Snapshot(); spans[0].Open {
+		t.Error("ended span still marked open")
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	id := tr.Start(0, KindJob, "x", Str("k", "v"))
+	tr.Annotate(id, Num("n", 1))
+	tr.End(id)
+	tr.Record(0, KindEpoch, "e", 0, 1)
+	if tr.Snapshot() != nil || tr.Len() != 0 || tr.Dropped() != 0 || tr.Now() != 0 {
+		t.Error("nil tracer must be inert")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(128)
+	root := tr.Start(0, KindJob, "job")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := tr.Start(root, KindCell, "cell")
+				tr.Annotate(id, Num("i", float64(i)))
+				tr.End(id)
+				tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 128 {
+		t.Errorf("ring should be full: %d", tr.Len())
+	}
+}
+
+func TestWriteChromeTraceValid(t *testing.T) {
+	tr := newTestTracer(0)
+	job := tr.Start(0, KindJob, "job-000001")
+	cell := tr.Start(job, KindCell, "suite/tachyon/proposed")
+	run := tr.Start(cell, KindRun, "proposed/tachyon")
+	tr.Record(run, KindWindow, "window", tr.Now(), 40, Num("core0_mean_c", 61.5))
+	tr.Record(run, KindEpoch, "epoch 1", tr.Now(), 40,
+		Num("state", 3), Num("action", 1), Num("reward", 0.25))
+	tr.End(run)
+	tr.End(cell)
+	tr.End(job)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var xEvents, metaEvents int
+	var sawEpochArgs, windowOnOwnTrack bool
+	for _, ev := range parsed.TraceEvents {
+		ph := ev["ph"].(string)
+		switch ph {
+		case "X":
+			xEvents++
+			if ev["ts"] == nil || ev["dur"] == nil || ev["name"] == nil {
+				t.Errorf("X event missing required fields: %v", ev)
+			}
+			if ev["dur"].(float64) < 1 {
+				t.Errorf("X event with sub-1us duration: %v", ev)
+			}
+			if ev["cat"] == KindEpoch {
+				args := ev["args"].(map[string]any)
+				if args["state"].(float64) != 3 || args["action"].(float64) != 1 || args["reward"].(float64) != 0.25 {
+					t.Errorf("epoch args wrong: %v", args)
+				}
+				sawEpochArgs = true
+			}
+			if ev["cat"] == KindWindow && ev["tid"].(float64) >= windowTrackOffset {
+				windowOnOwnTrack = true
+			}
+		case "M":
+			metaEvents++
+		default:
+			t.Errorf("unexpected phase %q", ph)
+		}
+	}
+	if xEvents != 5 {
+		t.Errorf("got %d X events, want 5", xEvents)
+	}
+	if metaEvents < 2 {
+		t.Errorf("expected process/thread name metadata, got %d", metaEvents)
+	}
+	if !sawEpochArgs {
+		t.Error("epoch span attrs did not reach args")
+	}
+	if !windowOnOwnTrack {
+		t.Error("window span should sit on its own track")
+	}
+}
+
+func TestSpansJSONLRoundTrip(t *testing.T) {
+	tr := newTestTracer(0)
+	job := tr.Start(0, KindJob, "j", Str("experiment", "suite"))
+	tr.Record(job, KindEpoch, "epoch 1", 100, 50, Num("state", 2))
+	tr.End(job)
+
+	var buf bytes.Buffer
+	if err := WriteSpansJSONL(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", lines)
+	}
+	back, err := DecodeSpansJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round-trip lost spans: %d", len(back))
+	}
+	if back[0].Kind != KindEpoch || back[1].Kind != KindJob {
+		t.Errorf("round-trip kinds: %q, %q", back[0].Kind, back[1].Kind)
+	}
+	if _, num, ok := back[0].Attr("state"); !ok || num != 2 {
+		t.Error("attrs lost in round trip")
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	tr := newTestTracer(0)
+	id := tr.Start(0, KindCell, "c")
+	ctx := ContextWithSpan(t.Context(), tr, id)
+	gotTr, gotID := SpanFromContext(ctx)
+	if gotTr != tr || gotID != id {
+		t.Error("span did not round-trip through context")
+	}
+	if gotTr, gotID := SpanFromContext(t.Context()); gotTr != nil || gotID != 0 {
+		t.Error("empty context should carry no span")
+	}
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON object
+// Perfetto and chrome://tracing load).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container flavour of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// windowTrackOffset separates a cell's window spans onto their own track, so
+// the (overlapping) window and epoch slices never fight for nesting on one
+// timeline row.
+const windowTrackOffset = 1000
+
+// WriteChromeTrace renders spans (as returned by Tracer.Snapshot) in the
+// Chrome trace-event JSON format. Each span becomes one complete ("X")
+// event; timestamps are rebased to the earliest span so the trace opens at
+// t=0. Tracks (tid) follow the hierarchy: every cell span gets its own
+// track shared with its run and epoch descendants, window spans move to a
+// parallel per-cell track, and job-level spans sit on track 0. Thread-name
+// metadata events label the tracks.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	byID := make(map[SpanID]*Span, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	var base int64
+	for i := range spans {
+		if i == 0 || spans[i].StartUS < base {
+			base = spans[i].StartUS
+		}
+	}
+
+	// Assign one track per cell span, in first-seen (ring, i.e. roughly
+	// chronological) order.
+	cellTID := make(map[SpanID]int)
+	trackName := map[int]string{0: "job"}
+	nextTID := 1
+	for i := range spans {
+		if spans[i].Kind == KindCell {
+			cellTID[spans[i].ID] = nextTID
+			trackName[nextTID] = spans[i].Name
+			nextTID++
+		}
+	}
+
+	tidOf := func(sp *Span) int {
+		tid := 0
+		for cur := sp; cur != nil; {
+			if id, ok := cellTID[cur.ID]; ok {
+				tid = id
+				break
+			}
+			cur = byID[cur.Parent]
+		}
+		if sp.Kind == KindWindow {
+			return tid + windowTrackOffset
+		}
+		return tid
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+len(trackName))
+	usedTIDs := make(map[int]bool)
+	for i := range spans {
+		sp := &spans[i]
+		args := make(map[string]any, len(sp.Attrs)+2)
+		for _, a := range sp.Attrs {
+			if a.IsNum {
+				args[a.Key] = a.Num
+			} else {
+				args[a.Key] = a.Str
+			}
+		}
+		args["span_id"] = uint64(sp.ID)
+		if sp.Parent != 0 {
+			args["parent_id"] = uint64(sp.Parent)
+		}
+		if sp.Open {
+			args["open"] = "true"
+		}
+		dur := sp.DurUS
+		if dur < 1 {
+			dur = 1 // zero-width slices render as invisible; clamp to 1 us
+		}
+		tid := tidOf(sp)
+		usedTIDs[tid] = true
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Cat:  sp.Kind,
+			Ph:   "X",
+			TS:   sp.StartUS - base,
+			Dur:  dur,
+			PID:  1,
+			TID:  tid,
+			Args: args,
+		})
+	}
+	// Stable presentation: by start time, then track.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		return events[i].TID < events[j].TID
+	})
+
+	meta := make([]chromeEvent, 0, len(usedTIDs)+1)
+	meta = append(meta, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "thermrepro"},
+	})
+	tids := make([]int, 0, len(usedTIDs))
+	for tid := range usedTIDs {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		name := trackName[tid]
+		if tid >= windowTrackOffset {
+			name = trackName[tid-windowTrackOffset] + " (windows)"
+		}
+		if name == "" {
+			name = fmt.Sprintf("track-%d", tid)
+		}
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: append(meta, events...), DisplayTimeUnit: "ms"})
+}
+
+// WriteSpansJSONL writes spans as one JSON object per line — the archival
+// format (durable trace retention, thermsim -trace file.jsonl).
+func WriteSpansJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeSpansJSONL parses spans written by WriteSpansJSONL, so an archived
+// trace can be re-exported in the Chrome format after its job was evicted.
+func DecodeSpansJSONL(r io.Reader) ([]Span, error) {
+	var out []Span
+	dec := json.NewDecoder(r)
+	for {
+		var sp Span
+		if err := dec.Decode(&sp); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("telemetry: decode span %d: %w", len(out), err)
+		}
+		out = append(out, sp)
+	}
+}
