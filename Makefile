@@ -1,7 +1,10 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt-check vet test race recover-test bench bench-smoke ci
+.PHONY: all build fmt-check vet test race recover-test bench bench-smoke bench-compare bench-compare-smoke ci
+
+# Committed benchmark baseline that bench-compare diffs against.
+BENCH_BASELINE ?= BENCH_pr4.json
 
 all: ci
 
@@ -31,15 +34,31 @@ recover-test:
 # Full benchmark sweep (quick-mode experiment regeneration plus the
 # micro-benchmarks of every package). The human-readable benchstat text is
 # archived under results/ so runs are comparable across commits, and the same
-# run is distilled into BENCH_pr4.json (name -> ns/op, B/op, allocs/op) at
+# run is distilled into BENCH_pr5.json (name -> ns/op, B/op, allocs/op) at
 # the repo root for machine consumption.
 bench:
 	@mkdir -p results
 	$(GO) test -bench . -benchmem -count=1 -run '^$$' ./... | tee results/bench.txt
-	$(GO) run ./cmd/benchjson -o BENCH_pr4.json results/bench.txt
+	$(GO) run ./cmd/benchjson -o BENCH_pr5.json results/bench.txt
 
 # Benchmark smoke: every benchmark compiles and survives one iteration.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./... > /dev/null
 
-ci: build fmt-check vet race bench-smoke
+# Regression gate: rerun the figure-campaign benchmarks on HEAD and diff them
+# against the committed baseline; >20% ns/op or allocs/op regression fails.
+bench-compare:
+	@mkdir -p results
+	$(GO) test -bench 'BenchmarkFig' -benchmem -count=1 -run '^$$' . | tee results/bench-compare.txt
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) results/bench-compare.txt
+
+# Smoke form of the gate for ci: only the two headline campaigns, two
+# iterations each. HEAD sits far below the committed baseline, so even the
+# extra timing noise of a short run stays inside the threshold; allocs/op is
+# deterministic either way.
+bench-compare-smoke:
+	@mkdir -p results
+	$(GO) test -bench 'BenchmarkFig[13]$$' -benchmem -benchtime 2x -run '^$$' . | tee results/bench-compare-smoke.txt
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) results/bench-compare-smoke.txt
+
+ci: build fmt-check vet race bench-smoke bench-compare-smoke

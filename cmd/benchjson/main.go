@@ -7,10 +7,17 @@
 //
 //	go test -bench . -benchmem ./... | benchjson -o BENCH.json
 //	benchjson -o BENCH.json results/bench.txt
+//	benchjson -compare BENCH_pr4.json -threshold 0.2 results/bench.txt
 //
 // The raw text still flows to stdout, so benchjson drops into a pipeline
 // without hiding the human-readable output. Benchmarks that appear more than
 // once (e.g. -count > 1) keep their last measurement.
+//
+// With -compare, the parsed results are diffed against a previously written
+// summary file: every benchmark present in both is checked, and the command
+// exits nonzero if ns/op or allocs/op regressed by more than -threshold
+// (fractional, default 0.20 = 20%). Benchmarks present on only one side are
+// reported but never fail the run, so the baseline can lag the benchmark set.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -34,8 +42,10 @@ type result struct {
 
 func main() {
 	out := flag.String("o", "", "write the JSON summary to this file (default stdout only)")
+	compare := flag.String("compare", "", "baseline JSON summary to diff against; regressions beyond -threshold fail the run")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression in ns/op and allocs/op before -compare fails")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: go test -bench . -benchmem ./... | %s -o BENCH.json [FILE]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: go test -bench . -benchmem ./... | %s [-o BENCH.json] [-compare BASELINE.json [-threshold 0.2]] [FILE]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -71,20 +81,32 @@ func main() {
 		os.Exit(1)
 	}
 
-	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
-	} else if echo {
-		// Raw text already went to stdout; don't interleave JSON with it.
-		fmt.Fprintln(os.Stderr, "benchjson: no -o file; JSON summary suppressed in pipe mode")
-		return
+		writeSummary(f, results)
+		f.Close()
+	} else if *compare == "" {
+		if echo {
+			// Raw text already went to stdout; don't interleave JSON with it.
+			fmt.Fprintln(os.Stderr, "benchjson: no -o file; JSON summary suppressed in pipe mode")
+			return
+		}
+		writeSummary(os.Stdout, results)
 	}
+
+	if *compare != "" {
+		if !compareBaseline(os.Stderr, *compare, results, *threshold) {
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSummary encodes the results map as indented JSON.
+func writeSummary(w io.Writer, results map[string]result) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	// encoding/json sorts map keys, so summary files diff cleanly across runs.
@@ -92,6 +114,79 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// compareBaseline diffs results against the baseline summary file and reports
+// per-benchmark deltas. It returns false if any benchmark present in both
+// regressed beyond the threshold on ns/op or allocs/op.
+func compareBaseline(w io.Writer, path string, results map[string]result, threshold float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(w, "benchjson:", err)
+		return false
+	}
+	base := map[string]result{}
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(w, "benchjson: parsing %s: %v\n", path, err)
+		return false
+	}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	compared := 0
+	fmt.Fprintf(w, "benchjson: comparing %d benchmark(s) against %s (threshold %+.0f%%)\n",
+		len(names), path, 100*threshold)
+	for _, name := range names {
+		b, inBase := base[name]
+		r := results[name]
+		if !inBase {
+			fmt.Fprintf(w, "  %-40s new benchmark, no baseline — skipped\n", name)
+			continue
+		}
+		compared++
+		line := fmt.Sprintf("  %-40s ns/op %s", name, deltaStr(b.NsPerOp, r.NsPerOp))
+		bad := regressed(b.NsPerOp, r.NsPerOp, threshold)
+		if b.AllocsPerOp != nil && r.AllocsPerOp != nil {
+			line += fmt.Sprintf("  allocs/op %s", deltaStr(*b.AllocsPerOp, *r.AllocsPerOp))
+			bad = bad || regressed(*b.AllocsPerOp, *r.AllocsPerOp, threshold)
+		}
+		if bad {
+			line += "  REGRESSION"
+			ok = false
+		}
+		fmt.Fprintln(w, line)
+	}
+	if compared == 0 {
+		fmt.Fprintln(w, "benchjson: no benchmark overlapped the baseline — nothing compared")
+		return false
+	}
+	if !ok {
+		fmt.Fprintf(w, "benchjson: FAIL — regression beyond %.0f%% vs %s\n", 100*threshold, path)
+	} else {
+		fmt.Fprintf(w, "benchjson: OK — %d benchmark(s) within %.0f%% of %s\n", compared, 100*threshold, path)
+	}
+	return ok
+}
+
+// regressed reports whether the new value exceeds the old by more than the
+// fractional threshold. A zero/negative old value can't regress (nothing to
+// be slower than for allocs already at 0 only if new is also 0).
+func regressed(old, new, threshold float64) bool {
+	if old <= 0 {
+		return new > 0
+	}
+	return new > old*(1+threshold)
+}
+
+// deltaStr formats "old -> new (+x%)".
+func deltaStr(old, new float64) string {
+	if old <= 0 {
+		return fmt.Sprintf("%.0f -> %.0f", old, new)
+	}
+	return fmt.Sprintf("%.0f -> %.0f (%+.1f%%)", old, new, 100*(new-old)/old)
 }
 
 // parseBenchLine extracts one "BenchmarkName-N  iters  X ns/op [Y B/op  Z

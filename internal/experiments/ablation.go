@@ -103,7 +103,10 @@ func Ablation(cfg Config) ([]AblationRow, error) {
 				return nil, err
 			}
 			pol := &sim.ProposedPolicy{Config: &ctl}
-			r, err := sim.Run(cfg.Run, work, pol)
+			// Rows need only scalars; stream them without the trace.
+			rc := cfg.Run
+			rc.DiscardTrace = true
+			r, err := sim.Run(rc, work, pol)
 			if err != nil {
 				return nil, fmt.Errorf("ablation %s/%s: %w", sc.name, v, err)
 			}

@@ -89,7 +89,10 @@ func runConcurrentCell(cfg Config, c concurrentCell) (ConcurrentRow, error) {
 	if err != nil {
 		return ConcurrentRow{}, err
 	}
-	r, err := sim.Run(cfg.Run, con, p)
+	// Rows need only scalars; stream them without the trace.
+	rc := cfg.Run
+	rc.DiscardTrace = true
+	r, err := sim.Run(rc, con, p)
 	if err != nil {
 		return ConcurrentRow{}, fmt.Errorf("concurrent %s/%s: %w", con.Name(), c.Policy, err)
 	}

@@ -154,7 +154,11 @@ func runApp(cfg Config, appName string, ds workload.DataSet, policy string) (*si
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(cfg.Run, app, pol)
+	// Row experiments consume only the scalar metrics, so the run streams
+	// them instead of retaining the oracle traces.
+	rc := cfg.Run
+	rc.DiscardTrace = true
+	return sim.Run(rc, app, pol)
 }
 
 // scenarioApps parses "mpegdec-tachyon-mpegenc" into its applications.

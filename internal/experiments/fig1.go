@@ -51,7 +51,10 @@ func Fig1(cfg Config) (*Fig1Result, error) {
 			} else {
 				pol = &sim.FixedAffinityPolicy{Slots: fig1Slots, Kind: governor.Ondemand}
 			}
-			r, err := sim.Run(cfg.Run, app, pol)
+			// Rows need only scalars; stream them without the trace.
+			rc := cfg.Run
+			rc.DiscardTrace = true
+			r, err := sim.Run(rc, app, pol)
 			if err != nil {
 				return nil, err
 			}

@@ -67,7 +67,10 @@ func Fig3(cfg Config) ([]Fig3Row, error) {
 				if err != nil {
 					return nil, err
 				}
-				r, err := sim.Run(cfg.Run, seq, p)
+				// Rows need only scalars; stream them without the trace.
+				rc := cfg.Run
+				rc.DiscardTrace = true
+				r, err := sim.Run(rc, seq, p)
 				if err != nil {
 					return nil, fmt.Errorf("fig3 %s/%s: %w", sc, pol, err)
 				}

@@ -57,7 +57,11 @@ func Fig6(cfg Config) ([]Fig6Row, error) {
 		// Keep the decision epoch near 30 s regardless of the interval.
 		ctl.EpochSamples = int(math.Max(2, math.Round(30/interval)))
 		pol := &sim.ProposedPolicy{Config: &ctl}
-		r, err := sim.Run(cfg.Run, app, pol)
+		// Only the overhead counters are read from this run; the
+		// measurement-bias quantities come from the retained reference trace.
+		rc := cfg.Run
+		rc.DiscardTrace = true
+		r, err := sim.Run(rc, app, pol)
 		if err != nil {
 			return nil, fmt.Errorf("fig6 interval %.0fs: %w", interval, err)
 		}

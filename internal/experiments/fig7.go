@@ -57,7 +57,10 @@ func Fig7(cfg Config) ([]Fig7Row, error) {
 				ctl.EpochSamples = int(math.Max(2, math.Round(epoch/ctl.SamplingIntervalS)))
 				ctl.Agent.Seed += int64(1000 * rep)
 				pol := &sim.ProposedPolicy{Config: &ctl}
-				r, err := sim.Run(cfg.Run, app, pol)
+				// Rows need only scalars; stream them without the trace.
+				rc := cfg.Run
+				rc.DiscardTrace = true
+				r, err := sim.Run(rc, app, pol)
 				if err != nil {
 					return nil, fmt.Errorf("fig7 %s epoch %.0fs: %w", appName, epoch, err)
 				}

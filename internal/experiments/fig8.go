@@ -47,7 +47,10 @@ func Fig8(cfg Config) ([]Fig8Row, error) {
 			// enough to fill the larger tables.
 			ctl.Agent.AlphaDecay = 0.97
 			pol := &sim.ProposedPolicy{Config: &ctl}
-			r, err := sim.Run(cfg.Run, app, pol)
+			// Rows need only scalars; stream them without the trace.
+			rc := cfg.Run
+			rc.DiscardTrace = true
+			r, err := sim.Run(rc, app, pol)
 			if err != nil {
 				return nil, fmt.Errorf("fig8 %dx%d: %w", ns, na, err)
 			}

@@ -44,7 +44,10 @@ func LibraryStudy(cfg Config) ([]LibraryRow, error) {
 			ctl := core.DefaultConfig()
 			ctl.UseSignatureLibrary = variant == "library"
 			pol := &sim.ProposedPolicy{Config: &ctl}
-			r, err := sim.Run(cfg.Run, seq, pol)
+			// Rows need only scalars; stream them without the trace.
+			rc := cfg.Run
+			rc.DiscardTrace = true
+			r, err := sim.Run(rc, seq, pol)
 			if err != nil {
 				return nil, fmt.Errorf("library %s/%s: %w", sc, variant, err)
 			}

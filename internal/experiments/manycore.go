@@ -68,6 +68,7 @@ func Manycore(cfg Config) ([]ManycoreRow, error) {
 		cores := g[0] * g[1]
 		for _, polName := range []string{PolicyLinuxOndemand, PolicyProposed} {
 			run := cfg.Run
+			run.DiscardTrace = true // rows need only scalars
 			run.Platform.GridRows, run.Platform.GridCols = g[0], g[1]
 			run.Platform.Sched.NumCores = cores
 			app := manycoreWorkload(cores)

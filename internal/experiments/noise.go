@@ -31,6 +31,7 @@ func NoiseStudy(cfg Config) ([]NoiseRow, error) {
 	var rows []NoiseRow
 	for _, noise := range levels {
 		run := cfg.Run
+		run.DiscardTrace = true // rows need only scalars
 		run.Platform.SensorNoiseC = noise
 
 		lin, err := sim.Run(run, workload.Tachyon(workload.Set1), sim.LinuxPolicy{})

@@ -75,7 +75,10 @@ func runSeedStudyCell(ctx context.Context, cfg Config, appName string, seeds int
 		ctl := core.DefaultConfig()
 		ctl.Agent.Seed = base + int64(1000*s)
 		pol := &sim.ProposedPolicy{Config: &ctl}
-		r, err := sim.Run(cfg.Run, app, pol)
+		// Rows need only scalars; stream them without the trace.
+		rc := cfg.Run
+		rc.DiscardTrace = true
+		r, err := sim.Run(rc, app, pol)
 		if err != nil {
 			return SeedStudyRow{}, fmt.Errorf("seed study %s seed %d: %w", appName, s, err)
 		}

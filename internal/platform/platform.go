@@ -30,10 +30,48 @@ type Counters struct {
 	PageFaults  int64
 }
 
+// SolverKind selects the thermal integrator driving the platform.
+type SolverKind int
+
+const (
+	// SolverFixed is the default: the precomputed constant-dt implicit
+	// stepper (thermal.FixedStepper). The platform always steps the network
+	// by the fixed TickS, so the whole update collapses to two dense matvecs
+	// with zero per-step allocation — the fast path for long campaigns.
+	SolverFixed SolverKind = iota
+	// SolverEuler is the explicit forward-Euler reference integrator.
+	SolverEuler
+	// SolverRK4 is the fourth-order Runge-Kutta reference integrator.
+	SolverRK4
+	// SolverImplicit is the backward-Euler reference (LU solve per step);
+	// SolverFixed matches it to rounding error at the same TickS.
+	SolverImplicit
+)
+
+// String returns the solver name.
+func (k SolverKind) String() string {
+	switch k {
+	case SolverFixed:
+		return "fixed"
+	case SolverEuler:
+		return "euler"
+	case SolverRK4:
+		return "rk4"
+	case SolverImplicit:
+		return "implicit"
+	default:
+		return fmt.Sprintf("SolverKind(%d)", int(k))
+	}
+}
+
 // Config parameterizes the simulated platform.
 type Config struct {
 	// TickS is the simulation time step in seconds.
 	TickS float64
+	// Solver selects the thermal integrator; the zero value is the
+	// precomputed constant-dt fast path (SolverFixed). The reference
+	// integrators remain available for validation runs.
+	Solver SolverKind
 	// Floorplan configures the thermal network.
 	Floorplan thermal.FloorplanConfig
 	// GridRows and GridCols select the core-grid dimensions; zero means
@@ -96,7 +134,7 @@ func DefaultConfig() Config {
 type Platform struct {
 	cfg    Config
 	fp     *thermal.Floorplan
-	solver *thermal.Solver
+	solver thermal.Stepper
 	sch    *sched.Scheduler
 	work   workload.Workload
 	rng    *rand.Rand
@@ -121,11 +159,28 @@ type Platform struct {
 	// powerScale is the resolved per-core dynamic-power multiplier.
 	powerScale []float64
 
+	// levelFreq[l] caches cfg.Levels[l].FrequencyGHz for the per-tick
+	// frequency fill; levelDynCoef[l] caches the activity-independent dynamic
+	// power factor Ceff*V^2*f of each level.
+	levelFreq    []float64
+	levelDynCoef []float64
+
+	// leak incrementally evaluates the per-core leakage exponential (one
+	// tracker per core; see power.LeakageTracker).
+	leak []power.LeakageTracker
+
 	// scratch buffers
 	powerVec  []float64
 	coreTemps []float64
 	dynPow    []float64
 	freqs     []float64
+	// coreVolt[c] is the supply voltage of core c's current level (refreshed
+	// together with freqs); leakW is the bulk leakage-power scratch.
+	coreVolt []float64
+	leakW    []float64
+	// freqsDirty marks that a coreLevel changed and freqs must be refilled
+	// from levelFreq before the next scheduler tick.
+	freqsDirty bool
 }
 
 // New builds a platform executing the given workload. The workload's current
@@ -147,21 +202,28 @@ func New(cfg Config, work workload.Workload) *Platform {
 		panic(fmt.Sprintf("platform: scheduler cores %d != floorplan cores %d", cfg.Sched.NumCores, n))
 	}
 	p := &Platform{
-		cfg:       cfg,
-		fp:        fp,
-		solver:    thermal.NewSolver(fp.Net, thermal.Euler),
-		sch:       sched.New(cfg.Sched),
-		work:      work,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		coreLevel: make([]int, n),
-		govs:      make([]governor.Governor, n),
-		busyAccum: make([]float64, n),
-		powerVec:  make([]float64, fp.Net.NumNodes()),
-		coreTemps: make([]float64, n),
-		dynPow:    make([]float64, n),
-		freqs:     make([]float64, n),
+		cfg:          cfg,
+		fp:           fp,
+		solver:       newStepper(cfg, fp.Net),
+		sch:          sched.New(cfg.Sched),
+		work:         work,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		coreLevel:    make([]int, n),
+		govs:         make([]governor.Governor, n),
+		busyAccum:    make([]float64, n),
+		powerVec:     make([]float64, fp.Net.NumNodes()),
+		coreTemps:    make([]float64, n),
+		dynPow:       make([]float64, n),
+		freqs:        make([]float64, n),
+		coreVolt:     make([]float64, n),
+		leakW:        make([]float64, n),
+		levelFreq:    make([]float64, len(cfg.Levels)),
+		levelDynCoef: make([]float64, len(cfg.Levels)),
+		leak:         make([]power.LeakageTracker, n),
 		// The initial thread installation is not an application switch.
 		appSwitches: -1,
+		// Force the initial freqs fill on the first Step.
+		freqsDirty: true,
 	}
 	if cfg.CorePowerScale != nil && len(cfg.CorePowerScale) != n {
 		panic(fmt.Sprintf("platform: CorePowerScale has %d entries for %d cores", len(cfg.CorePowerScale), n))
@@ -173,13 +235,42 @@ func New(cfg Config, work workload.Workload) *Platform {
 			p.powerScale[c] = cfg.CorePowerScale[c]
 		}
 	}
+	for l, lv := range cfg.Levels {
+		p.levelFreq[l] = lv.FrequencyGHz
+		p.levelDynCoef[l] = cfg.Power.Ceff * lv.VoltageV * lv.VoltageV * lv.FrequencyGHz
+	}
+	for c := range p.leak {
+		p.leak[c] = power.NewLeakageTracker(cfg.Power)
+	}
 	p.SetGovernorAll(governor.Ondemand, 0)
 	p.installThreads()
 	return p
 }
 
+// newStepper builds the configured thermal integrator. The fixed stepper is
+// precomputed for the platform tick, the only step size Step ever uses.
+func newStepper(cfg Config, net *thermal.Network) thermal.Stepper {
+	switch cfg.Solver {
+	case SolverEuler:
+		return thermal.NewSolver(net, thermal.Euler)
+	case SolverRK4:
+		return thermal.NewSolver(net, thermal.RK4)
+	case SolverImplicit:
+		return thermal.NewImplicitSolver(net)
+	default:
+		s, err := thermal.NewFixedStepper(net, cfg.TickS)
+		if err != nil {
+			panic(fmt.Sprintf("platform: %v", err)) // TickS validated above; floorplans are never singular
+		}
+		return s
+	}
+}
+
 // NumCores returns the core count.
 func (p *Platform) NumCores() int { return p.fp.NumCores() }
+
+// SolverKind returns the configured thermal integrator kind.
+func (p *Platform) SolverKind() SolverKind { return p.cfg.Solver }
 
 // Levels returns the DVFS level table.
 func (p *Platform) Levels() []power.Level { return p.cfg.Levels }
@@ -239,6 +330,7 @@ func (p *Platform) SetCoreLevel(core, level int) error {
 		p.chargeDVFSTransition(core)
 	}
 	p.coreLevel[core] = level
+	p.freqsDirty = true
 	p.govs[core] = governor.New(governor.Userspace, p.cfg.Levels, level)
 	return nil
 }
@@ -337,15 +429,21 @@ func (p *Platform) Step() {
 			if next != p.coreLevel[c] {
 				p.chargeDVFSTransition(c)
 				p.coreLevel[c] = next
+				p.freqsDirty = true
 			}
 			p.busyAccum[c] = 0
 		}
 		p.govClock = 0
 	}
 
-	// Scheduler tick at current frequencies.
-	for c, l := range p.coreLevel {
-		p.freqs[c] = p.cfg.Levels[l].FrequencyGHz
+	// Scheduler tick at current frequencies. freqs only needs refilling
+	// when some core's DVFS level actually changed.
+	if p.freqsDirty {
+		for c, l := range p.coreLevel {
+			p.freqs[c] = p.levelFreq[l]
+			p.coreVolt[c] = p.cfg.Levels[l].VoltageV
+		}
+		p.freqsDirty = false
 	}
 	stats := p.sch.Tick(dt, p.freqs)
 	p.work.Step()
@@ -361,17 +459,33 @@ func (p *Platform) Step() {
 
 	// Power from activity and temperature; then thermal step.
 	temps := p.Temperatures()
+	// Bulk-evaluate the per-core leakage through the incremental trackers
+	// (one call per tick instead of one per core; see power.LeakagePowers).
+	power.LeakagePowers(p.leak, p.coreVolt, temps, p.leakW)
 	var dynTotal, statTotal float64
+	floor := p.cfg.Power.ActivityFloor
 	for c := range p.dynPow {
-		l := p.cfg.Levels[p.coreLevel[c]]
-		dyn := p.cfg.Power.DynamicPower(l, stats.CoreActivity[c]) * p.powerScale[c]
-		leak := p.cfg.Power.LeakagePower(l, temps[c])
+		li := p.coreLevel[c]
+		// Inline power.Model.DynamicPower using the cached per-level
+		// coefficient.
+		a := stats.CoreActivity[c]
+		if a < floor {
+			a = floor
+		} else if a > 1 {
+			a = 1
+		}
+		dyn := p.levelDynCoef[li] * a * p.powerScale[c]
+		leak := p.leakW[c]
 		p.dynPow[c] = dyn + leak
 		dynTotal += dyn
 		statTotal += leak
 		p.busyAccum[c] += stats.CoreBusy[c] * dt
 	}
-	p.fp.FillPowerVector(p.powerVec, p.dynPow)
+	// powerVec's non-core entries are zero from construction and never
+	// written, so only the core entries need refreshing each tick.
+	for i, node := range p.fp.Cores {
+		p.powerVec[node] = p.dynPow[i]
+	}
 	if err := p.solver.Step(dt, p.powerVec); err != nil {
 		panic(err) // sizes are fixed at construction; cannot happen
 	}

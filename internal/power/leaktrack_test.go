@@ -1,0 +1,88 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLeakageTrackerMatchesExact drives the tracker through a realistic
+// slowly-varying temperature trajectory and checks every sample against the
+// exact Model.LeakagePower.
+func TestLeakageTrackerMatchesExact(t *testing.T) {
+	m := DefaultModel()
+	l := DefaultLevels()[4]
+	tr := NewLeakageTracker(m)
+	temp := 35.0
+	for i := 0; i < 20000; i++ {
+		// Heating/cooling ramps with small per-step deltas, like a 10 ms
+		// thermal tick.
+		temp += 0.05 * math.Sin(float64(i)/300)
+		got := tr.Power(l, temp)
+		want := m.LeakagePower(l, temp)
+		if rel := math.Abs(got-want) / want; rel > 1e-6 {
+			t.Fatalf("step %d temp %.3f: tracker %.12g vs exact %.12g (rel err %.2e)",
+				i, temp, got, want, rel)
+		}
+	}
+}
+
+// TestLeakageTrackerLargeJump checks that a discontinuous temperature change
+// falls back to an exact evaluation instead of extrapolating.
+func TestLeakageTrackerLargeJump(t *testing.T) {
+	m := DefaultModel()
+	l := DefaultLevels()[0]
+	tr := NewLeakageTracker(m)
+	for _, temp := range []float64{40, 90, 31, 75.5, 30} {
+		got := tr.Power(l, temp)
+		want := m.LeakagePower(l, temp)
+		if rel := math.Abs(got-want) / want; rel > 1e-12 {
+			t.Fatalf("jump to %.1f: tracker %.12g vs exact %.12g", temp, got, want)
+		}
+	}
+}
+
+// TestLeakagePowersMatchesScalar checks the bulk evaluator agrees exactly
+// with per-tracker Power calls over a varying trajectory.
+func TestLeakagePowersMatchesScalar(t *testing.T) {
+	m := DefaultModel()
+	levels := DefaultLevels()
+	const n = 4
+	bulk := make([]LeakageTracker, n)
+	scalar := make([]LeakageTracker, n)
+	for i := range bulk {
+		bulk[i] = NewLeakageTracker(m)
+		scalar[i] = NewLeakageTracker(m)
+	}
+	volts := make([]float64, n)
+	temps := make([]float64, n)
+	dst := make([]float64, n)
+	for step := 0; step < 500; step++ {
+		for c := 0; c < n; c++ {
+			volts[c] = levels[(step/97+c)%len(levels)].VoltageV
+			temps[c] = 40 + 10*math.Sin(float64(step+13*c)/40)
+		}
+		LeakagePowers(bulk, volts, temps, dst)
+		for c := 0; c < n; c++ {
+			want := scalar[c].Power(Level{VoltageV: volts[c]}, temps[c])
+			if dst[c] != want {
+				t.Fatalf("step %d core %d: bulk %.17g vs scalar %.17g", step, c, dst[c], want)
+			}
+		}
+	}
+}
+
+// TestLeakageTrackerReset checks Reset forces the next call exact.
+func TestLeakageTrackerReset(t *testing.T) {
+	m := DefaultModel()
+	l := DefaultLevels()[2]
+	tr := NewLeakageTracker(m)
+	for i := 0; i < 10; i++ {
+		tr.Power(l, 50+float64(i)*0.1)
+	}
+	tr.Reset()
+	got := tr.Power(l, 51)
+	want := m.LeakagePower(l, 51)
+	if got != want {
+		t.Fatalf("after Reset: tracker %.17g vs exact %.17g", got, want)
+	}
+}

@@ -1,0 +1,186 @@
+package reliability
+
+import "math"
+
+// Stream is an online rainflow counter: samples are fed one at a time with
+// Push and identified cycles are delivered to the emit callback as soon as
+// they close; Finish flushes the final reversal and the residual half
+// cycles. For any sample sequence the emitted cycles are bit-identical, in
+// value and order, to Rainflow over the same samples: the reversal
+// extraction replicates ExtractReversals one sample at a time, and the
+// three-point collapse runs over the same stack contents.
+//
+// After setup the steady-state Push path performs no allocation (the
+// reversal stack grows only when the temperature envelope expands, which
+// settles within the first few cycles of a stationary profile).
+type Stream struct {
+	emit  func(Cycle)
+	stack []float64
+
+	// Reversal-extraction state, mirroring ExtractReversals: the first
+	// sample is held back until a direction is established (skipping the
+	// initial flat run), then each direction flip emits the previous
+	// extremum into the rainflow stack.
+	started bool
+	haveDir bool
+	first   float64
+	prev    float64
+	rising  bool
+}
+
+// NewStream creates a streaming rainflow counter delivering cycles to emit
+// (which must be non-nil).
+func NewStream(emit func(Cycle)) *Stream {
+	return &Stream{emit: emit, stack: make([]float64, 0, 64)}
+}
+
+// Push feeds one sample.
+func (s *Stream) Push(v float64) {
+	if !s.started {
+		s.started = true
+		s.first = v
+		s.prev = v
+		return
+	}
+	if v == s.prev {
+		return
+	}
+	if !s.haveDir {
+		// First direction established: the series start is the first
+		// reversal.
+		s.haveDir = true
+		s.feed(s.first)
+		s.rising = v > s.prev
+		s.prev = v
+		return
+	}
+	nowRising := v > s.prev
+	if nowRising != s.rising {
+		s.feed(s.prev)
+		s.rising = nowRising
+	}
+	s.prev = v
+}
+
+// feed pushes one reversal onto the stack and collapses closed cycles,
+// exactly as the batch Rainflow loop does.
+func (s *Stream) feed(r float64) {
+	s.stack = append(s.stack, r)
+	stack := s.stack
+	for len(stack) >= 3 {
+		n := len(stack)
+		x := math.Abs(stack[n-1] - stack[n-2])
+		y := math.Abs(stack[n-2] - stack[n-3])
+		if x < y {
+			break
+		}
+		if n == 3 {
+			// Y contains the starting point: half cycle, drop start.
+			s.emit(makeCycle(stack[0], stack[1], 0.5))
+			stack[0], stack[1] = stack[1], stack[2]
+			stack = stack[:2]
+		} else {
+			// Y is interior: full cycle, remove its two points.
+			s.emit(makeCycle(stack[n-3], stack[n-2], 1.0))
+			stack[n-3] = stack[n-1]
+			stack = stack[:n-2]
+		}
+	}
+	s.stack = stack
+}
+
+// Finish flushes the last reversal and emits the residual ranges as half
+// cycles. The stream must not be pushed to afterwards; use Reset to start a
+// new series.
+func (s *Stream) Finish() {
+	if s.haveDir {
+		s.feed(s.prev)
+	}
+	for i := 1; i < len(s.stack); i++ {
+		s.emit(makeCycle(s.stack[i-1], s.stack[i], 0.5))
+	}
+}
+
+// Reset clears all state for a new series, retaining the stack capacity.
+func (s *Stream) Reset() {
+	s.stack = s.stack[:0]
+	s.started = false
+	s.haveDir = false
+}
+
+// MTTFAccumulator consumes a uniformly sampled temperature series online and
+// produces the same cycling and aging MTTFs as
+// CyclingParams.CyclingMTTFFromSeries / AgingParams.AgingMTTFFromSeries
+// would over the retained series — bit-identical, since the fatigue stress
+// is accumulated per emitted cycle in emission order and the aging sum per
+// sample in sample order, matching the batch loops. It lets callers that
+// only need the scalar lifetime metrics drop the trace entirely.
+type MTTFAccumulator struct {
+	cyc   CyclingParams
+	aging AgingParams
+	rf    *Stream
+
+	stress   float64 // accumulated Eq. 6 plastic fatigue stress
+	agingSum float64 // sum of 1/alpha(T) over samples
+	n        int     // samples pushed
+	cycles   int64   // cycles emitted (full and half)
+}
+
+// NewMTTFAccumulator creates an accumulator with the given reliability
+// constants.
+func NewMTTFAccumulator(cyc CyclingParams, aging AgingParams) *MTTFAccumulator {
+	m := &MTTFAccumulator{cyc: cyc, aging: aging}
+	m.rf = NewStream(m.onCycle)
+	return m
+}
+
+func (m *MTTFAccumulator) onCycle(c Cycle) {
+	m.cycles++
+	if c.Range <= m.cyc.TTh {
+		return
+	}
+	m.stress += c.Count * math.Pow(c.Range-m.cyc.TTh, m.cyc.B) *
+		math.Exp(-m.cyc.EaEV/(BoltzmannEV*kelvin(c.Max)))
+}
+
+// Push feeds one temperature sample (degrees Celsius).
+func (m *MTTFAccumulator) Push(tempC float64) {
+	m.rf.Push(tempC)
+	m.agingSum += 1 / m.aging.Alpha(tempC)
+	m.n++
+}
+
+// Samples returns the number of samples pushed so far.
+func (m *MTTFAccumulator) Samples() int { return m.n }
+
+// Cycles returns the number of rainflow cycles (full and half) identified so
+// far; the residue half cycles only appear after Finish.
+func (m *MTTFAccumulator) Cycles() int64 { return m.cycles }
+
+// Finish closes the rainflow count and returns the cycling and aging MTTFs
+// in years for a series sampled every sampleIntervalS seconds. The
+// accumulator must not be pushed to afterwards; use Reset to start over.
+func (m *MTTFAccumulator) Finish(sampleIntervalS float64) (cyclingY, agingY float64) {
+	m.rf.Finish()
+	if m.stress == 0 {
+		cyclingY = math.Inf(1)
+	} else {
+		durationS := float64(m.n) * sampleIntervalS
+		cyclingY = m.cyc.ATC * (durationS / SecondsPerYear) / m.stress
+	}
+	if m.n == 0 {
+		agingY = m.aging.AgingMTTF(0)
+	} else {
+		agingY = m.aging.AgingMTTF(m.agingSum / float64(m.n))
+	}
+	return cyclingY, agingY
+}
+
+// Reset clears all accumulated state for a new series.
+func (m *MTTFAccumulator) Reset() {
+	m.rf.Reset()
+	m.stress = 0
+	m.agingSum = 0
+	m.n = 0
+	m.cycles = 0
+}

@@ -1,0 +1,134 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// streamCycles runs the streaming counter over the series and returns the
+// emitted cycles in order.
+func streamCycles(series []float64) []Cycle {
+	var out []Cycle
+	s := NewStream(func(c Cycle) { out = append(out, c) })
+	for _, v := range series {
+		s.Push(v)
+	}
+	s.Finish()
+	return out
+}
+
+func testSeries() map[string][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	walk := make([]float64, 5000)
+	t := 50.0
+	for i := range walk {
+		t += rng.NormFloat64() * 1.5
+		walk[i] = t
+	}
+	sine := make([]float64, 2000)
+	for i := range sine {
+		sine[i] = 55 + 8*math.Sin(float64(i)/13) + 3*math.Sin(float64(i)/3.7)
+	}
+	plateau := make([]float64, 0, 600)
+	for i := 0; i < 100; i++ {
+		plateau = append(plateau, 40, 40, 60, 60, 60, 45)
+	}
+	return map[string][]float64{
+		"empty":      nil,
+		"single":     {42},
+		"constant":   {42, 42, 42, 42},
+		"twoPoint":   {40, 50},
+		"monotonic":  {30, 35, 41, 48, 56},
+		"flatStart":  {44, 44, 44, 50, 40, 55},
+		"sawtooth":   {40, 60, 40, 60, 40, 60, 40},
+		"plateaus":   plateau,
+		"randomWalk": walk,
+		"sine":       sine,
+	}
+}
+
+// TestStreamMatchesBatchRainflow requires the streaming counter to emit
+// exactly the cycles of the batch Rainflow, in the same order, bit for bit.
+func TestStreamMatchesBatchRainflow(t *testing.T) {
+	for name, series := range testSeries() {
+		want := Rainflow(series)
+		got := streamCycles(series)
+		if len(got) != len(want) {
+			t.Errorf("%s: stream emitted %d cycles, batch %d", name, len(got), len(want))
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: cycle %d: stream %+v vs batch %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMTTFAccumulatorMatchesBatch requires the incremental MTTF to be
+// bit-identical to the FromSeries batch helpers.
+func TestMTTFAccumulatorMatchesBatch(t *testing.T) {
+	cyc := DefaultCyclingParams()
+	aging := DefaultAgingParams()
+	const interval = 0.25
+	for name, series := range testSeries() {
+		m := NewMTTFAccumulator(cyc, aging)
+		for _, v := range series {
+			m.Push(v)
+		}
+		gotCyc, gotAging := m.Finish(interval)
+		wantCyc := cyc.CyclingMTTFFromSeries(series, interval)
+		wantAging := aging.AgingMTTFFromSeries(series)
+		if gotCyc != wantCyc && !(math.IsInf(gotCyc, 1) && math.IsInf(wantCyc, 1)) {
+			t.Errorf("%s: cycling MTTF stream %.17g vs batch %.17g", name, gotCyc, wantCyc)
+		}
+		if gotAging != wantAging && !(math.IsInf(gotAging, 1) && math.IsInf(wantAging, 1)) {
+			t.Errorf("%s: aging MTTF stream %.17g vs batch %.17g", name, gotAging, wantAging)
+		}
+		if want := int64(len(Rainflow(series))); m.Cycles() != want {
+			t.Errorf("%s: cycle count %d vs batch %d", name, m.Cycles(), want)
+		}
+	}
+}
+
+// TestMTTFAccumulatorReset checks an accumulator can be reused after Reset.
+func TestMTTFAccumulatorReset(t *testing.T) {
+	cyc := DefaultCyclingParams()
+	aging := DefaultAgingParams()
+	series := testSeries()["sine"]
+	m := NewMTTFAccumulator(cyc, aging)
+	for _, v := range series {
+		m.Push(v)
+	}
+	m.Finish(0.25)
+	m.Reset()
+	for _, v := range series {
+		m.Push(v)
+	}
+	gotCyc, gotAging := m.Finish(0.25)
+	if want := cyc.CyclingMTTFFromSeries(series, 0.25); gotCyc != want {
+		t.Errorf("after Reset: cycling MTTF %.17g vs %.17g", gotCyc, want)
+	}
+	if want := aging.AgingMTTFFromSeries(series); gotAging != want {
+		t.Errorf("after Reset: aging MTTF %.17g vs %.17g", gotAging, want)
+	}
+}
+
+// TestStreamPushAllocFree asserts the steady-state Push path performs no
+// allocation once the reversal stack has warmed up.
+func TestStreamPushAllocFree(t *testing.T) {
+	m := NewMTTFAccumulator(DefaultCyclingParams(), DefaultAgingParams())
+	series := testSeries()["sine"]
+	for _, v := range series {
+		m.Push(v)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		m.Push(series[i%len(series)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Push allocated %.1f times per call", allocs)
+	}
+}

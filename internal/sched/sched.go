@@ -85,6 +85,10 @@ func DefaultConfig() Config {
 }
 
 // TickStats summarizes one scheduler tick for the power model and governors.
+// The slices alias scheduler-owned scratch buffers: they are valid until the
+// next Tick and must not be retained or modified by callers (the simulation
+// steps hundreds of thousands of ticks per run, so per-tick allocation here
+// was the hottest allocation site of the whole repository).
 type TickStats struct {
 	// CoreActivity is the switching activity per core in [0,1], the
 	// share-weighted mean of the activities of the threads that ran.
@@ -112,8 +116,44 @@ type Scheduler struct {
 	// speed is the resolved per-core execution-rate multiplier.
 	speed []float64
 
+	// needPlace is set when a new thread set arrives; the placement scan in
+	// Tick only needs to run until every non-done thread has a core.
+	needPlace bool
+
 	// scratch
 	loads []int
+	// stats is the reused result of Tick; act and busy back its slices.
+	stats     TickStats
+	act, busy []float64
+	// share[c] is 1/loads[c] for the current tick (the timesharing factor).
+	share []float64
+	// recip[l] is 1/l for l up to the thread count, so the per-tick share
+	// computation is a table lookup instead of a float division.
+	recip []float64
+	// run caches Thread.Runnable for the current tick.
+	run []bool
+
+	// Steady-tick fast path: while no thread crosses a phase boundary, no
+	// stall is pending, no balancer run is due and the frequency vector is
+	// unchanged, every tick produces bit-identical shares, activity and busy
+	// stats — only the per-thread work accounting advances. A full (slow)
+	// tick arms a window of such ticks; external mutations (SetThreads,
+	// SetAffinity, AddStall) and any frequency change end it early.
+	steady      bool
+	steadyLeft  int       // fast ticks remaining in the armed window
+	steadyDt    float64   // tick size the window was armed for
+	steadyWork  float64   // WorkDone of one steady tick
+	steadyFreqs []float64 // frequency vector the window was armed for
+	steadyAmt   []float64 // per-thread Advance amount per tick
+	steadyIdx   []int     // threads that advance during the window
+	// tickMutated records that the current slow tick changed scheduling
+	// state in a way that makes the next tick differ from this one: a stall
+	// was consumed, a thread left the runnable set (finished or reached a
+	// barrier), or a migration happened. armSteady refuses to arm when set.
+	tickMutated bool
+	// disableSteady forces every tick down the slow path (tests use it to
+	// check the fast path is behavior-preserving).
+	disableSteady bool
 }
 
 // New creates a scheduler. NumCores must be in [1, 32].
@@ -131,12 +171,19 @@ func New(cfg Config) *Scheduler {
 			speed[c] = cfg.CoreSpeed[c]
 		}
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		speed: speed,
 		loads: make([]int, cfg.NumCores),
+		act:   make([]float64, cfg.NumCores),
+		busy:  make([]float64, cfg.NumCores),
+		share: make([]float64, cfg.NumCores),
 	}
+	// The Tick result permanently aliases the scratch buffers.
+	s.stats = TickStats{CoreActivity: s.act, CoreBusy: s.busy}
+	s.steadyFreqs = make([]float64, cfg.NumCores)
+	return s
 }
 
 // CoreSpeed returns the effective execution-rate multiplier of core c.
@@ -155,6 +202,7 @@ func (s *Scheduler) Migrations() int64 { return s.migrations }
 func (s *Scheduler) AddStall(i int, sec float64) {
 	if i >= 0 && i < len(s.stall) && sec > 0 {
 		s.stall[i] += sec
+		s.steady = false
 	}
 }
 
@@ -166,10 +214,19 @@ func (s *Scheduler) SetThreads(threads []*workload.Thread) {
 	s.placement = make([]int, len(threads))
 	s.affinity = make([]AffinityMask, len(threads))
 	s.stall = make([]float64, len(threads))
+	s.run = make([]bool, len(threads))
+	s.recip = make([]float64, len(threads)+1)
+	for l := 1; l < len(s.recip); l++ {
+		s.recip[l] = 1 / float64(l)
+	}
+	s.steadyAmt = make([]float64, len(threads))
+	s.steadyIdx = make([]int, 0, len(threads))
+	s.steady = false
 	for i := range s.placement {
 		s.placement[i] = -1
 	}
 	s.sinceBalance = 0
+	s.needPlace = true
 }
 
 // Threads returns the currently scheduled threads.
@@ -203,6 +260,7 @@ func (s *Scheduler) SetAffinity(i int, mask AffinityMask) error {
 		}
 	}
 	s.affinity[i] = mask
+	s.steady = false
 	if cur := s.placement[i]; cur >= 0 && !mask.Allows(cur) {
 		s.migrate(i, s.leastLoadedAllowed(mask))
 	}
@@ -214,6 +272,7 @@ func (s *Scheduler) ClearAffinities() {
 	for i := range s.affinity {
 		s.affinity[i] = 0
 	}
+	s.steady = false
 }
 
 // computeLoads fills s.loads with the number of runnable placed threads per
@@ -260,46 +319,114 @@ func (s *Scheduler) migrate(i, target int) {
 		s.stall[i] += s.cfg.MigrationStall
 	}
 	s.placement[i] = target
+	s.tickMutated = true
 }
 
 // Tick advances all threads by dt seconds with per-core frequencies
-// freqGHz (len == NumCores). It returns per-core activity and busy stats.
-func (s *Scheduler) Tick(dt float64, freqGHz []float64) TickStats {
+// freqGHz (len == NumCores). It returns per-core activity and busy stats;
+// the returned value and its slices alias reused scratch (valid until the
+// next Tick, callers must not retain or modify them).
+func (s *Scheduler) Tick(dt float64, freqGHz []float64) *TickStats {
 	if len(freqGHz) != s.cfg.NumCores {
 		panic(fmt.Sprintf("sched: Tick: got %d frequencies for %d cores", len(freqGHz), s.cfg.NumCores))
 	}
-	// Place any unplaced runnable thread.
-	for i, th := range s.threads {
-		if s.placement[i] < 0 && !th.Done() {
-			s.placement[i] = s.leastLoadedAllowed(s.affinity[i])
+	// Steady-window fast path: shares, activity and busy flags are provably
+	// identical to the previous tick, so only the work accounting advances.
+	if s.steady && dt == s.steadyDt {
+		ok := true
+		for c, f := range freqGHz {
+			if f != s.steadyFreqs[c] {
+				ok = false
+				break
+			}
 		}
+		if ok {
+			for _, i := range s.steadyIdx {
+				if !s.threads[i].AdvanceWithin(s.steadyAmt[i]) {
+					// A phase boundary inside the window despite the margin
+					// (float drift): run the full advance and end the window
+					// so the next tick recomputes.
+					s.threads[i].Advance(s.steadyAmt[i])
+					s.steady = false
+				}
+			}
+			s.stats.WorkDone = s.steadyWork
+			s.sinceBalance += dt
+			s.steadyLeft--
+			if s.steadyLeft <= 0 {
+				s.steady = false
+			}
+			return &s.stats
+		}
+		s.steady = false
+	}
+	// Place any unplaced thread. Placements only reset when a new thread
+	// set arrives, so after one full pass the scan is dead weight on the
+	// per-tick hot path and is skipped until the next SetThreads.
+	if s.needPlace {
+		for i, th := range s.threads {
+			if s.placement[i] < 0 && !th.Done() {
+				s.placement[i] = s.leastLoadedAllowed(s.affinity[i])
+			}
+		}
+		s.needPlace = false
 	}
 
-	stats := TickStats{
-		CoreActivity: make([]float64, s.cfg.NumCores),
-		CoreBusy:     make([]float64, s.cfg.NumCores),
+	s.tickMutated = false
+	// s.stats.CoreActivity/CoreBusy permanently alias s.act/s.busy (set in
+	// New); only the scalar accumulators need resetting here. Rebuilding the
+	// struct would store slice headers through the GC write barrier on every
+	// tick.
+	act, busy := s.act, s.busy
+	for c := range act {
+		act[c], busy[c] = 0, 0
+		s.loads[c] = 0
 	}
-	// Count runnable threads per core for timesharing.
-	s.computeLoads()
+	// Count runnable threads per core for timesharing, caching Runnable so
+	// the execution loop below doesn't query every thread twice.
+	// Local copies of the per-thread slices let the compiler hoist the
+	// bounds checks out of the two thread loops.
+	nt := len(s.threads)
+	placement, run, stall := s.placement[:nt], s.run[:nt], s.stall[:nt]
 	for i, th := range s.threads {
-		c := s.placement[i]
-		if c < 0 || !th.Runnable() {
+		r := th.Runnable()
+		run[i] = r
+		if r && placement[i] >= 0 {
+			s.loads[placement[i]]++
+		}
+	}
+	for c, l := range s.loads {
+		if l > 0 {
+			s.share[c] = s.recip[l]
+		}
+	}
+	var workDone float64
+	for i, th := range s.threads {
+		c := placement[i]
+		if c < 0 || !run[i] {
 			continue
 		}
-		share := 1.0 / float64(s.loads[c])
-		if s.stall[i] > 0 {
+		share := s.share[c]
+		if stall[i] > 0 {
 			// Cache-warmup stall: occupies the core (busy, low activity)
 			// but performs no work.
-			s.stall[i] -= dt * share
-			stats.CoreActivity[c] += share * 0.3
-			stats.CoreBusy[c] = 1
+			stall[i] -= dt * share
+			act[c] += share * 0.3
+			busy[c] = 1
+			s.tickMutated = true
 			continue
 		}
 		done := th.Advance(freqGHz[c] * s.speed[c] * share * dt)
-		stats.WorkDone += done
-		stats.CoreActivity[c] += share * th.Activity()
-		stats.CoreBusy[c] = 1
+		workDone += done
+		act[c] += share * th.Activity()
+		busy[c] = 1
+		if !th.Runnable() {
+			// The thread finished or reached a barrier mid-tick: next tick's
+			// loads and shares differ from this one's.
+			s.tickMutated = true
+		}
 	}
+	s.stats.WorkDone = workDone
 
 	// Periodic load balancing (only for threads without a restricting
 	// affinity mask — a set mask pins the thread wherever the user put it,
@@ -309,7 +436,68 @@ func (s *Scheduler) Tick(dt float64, freqGHz []float64) TickStats {
 		s.sinceBalance = 0
 		s.balance()
 	}
-	return stats
+	s.armSteady(dt, freqGHz)
+	return &s.stats
+}
+
+// armSteady decides, at the end of a full tick, whether the coming ticks are
+// provably identical in shares/activity/busy so Tick can take the steady
+// fast path. The window is bounded by the nearest phase boundary of any
+// running thread (with one tick of safety margin) and by the next balancer
+// run; any stall, barrier wait or unplaced thread blocks arming, and
+// SetThreads/SetAffinity/AddStall or a changed frequency vector end an armed
+// window early.
+func (s *Scheduler) armSteady(dt float64, freqGHz []float64) {
+	s.steady = false
+	if s.disableSteady || s.tickMutated || dt <= 0 {
+		return
+	}
+	k := int(^uint(0) >> 1)
+	if s.cfg.BalanceInterval > 0 {
+		k = int((s.cfg.BalanceInterval-s.sinceBalance)/dt) - 1
+	}
+	s.steadyIdx = s.steadyIdx[:0]
+	for i, th := range s.threads {
+		if th.Done() {
+			continue
+		}
+		if th.AtBarrier() {
+			// A waiting thread contributes nothing and cannot wake during
+			// the window: release requires every non-done thread at the
+			// barrier, and the margin below keeps the running ones (there is
+			// at least one, or steadyIdx stays empty and we refuse) from
+			// finishing their phase.
+			continue
+		}
+		c := s.placement[i]
+		if c < 0 || s.stall[i] > 0 {
+			return
+		}
+		amt := freqGHz[c] * s.speed[c] * s.share[c] * dt
+		if amt <= 0 {
+			return
+		}
+		kp := int(th.RemainingInPhase()/amt) - 1
+		if kp < k {
+			k = kp
+		}
+		s.steadyIdx = append(s.steadyIdx, i)
+		s.steadyAmt[i] = amt
+	}
+	if k < 1 || len(s.steadyIdx) == 0 {
+		return
+	}
+	// WorkDone of a steady tick, accumulated in the same thread order as the
+	// slow path so the float result is bit-identical.
+	var wd float64
+	for _, i := range s.steadyIdx {
+		wd += s.steadyAmt[i]
+	}
+	s.steady = true
+	s.steadyLeft = k
+	s.steadyDt = dt
+	s.steadyWork = wd
+	copy(s.steadyFreqs, freqGHz)
 }
 
 // balance migrates one thread from the busiest core to the idlest core if

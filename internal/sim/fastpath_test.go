@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/reliability"
+	"repro/internal/thermal"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// manycoreApp builds a small workload with one thread per core for the
+// 16-core golden run.
+func manycoreApp(threads int) *workload.Application {
+	ths := make([]*workload.Thread, threads)
+	for i := range ths {
+		ths[i] = workload.NewThread(i, "golden16", []workload.Phase{
+			{Kind: workload.Burst, Work: 20 + float64(i), Activity: 0.85},
+			{Kind: workload.Sync, Work: 2, Activity: 0.3},
+			{Kind: workload.Burst, Work: 15, Activity: 0.9},
+		})
+	}
+	return workload.NewApplication("golden16", ths, 0)
+}
+
+// TestGoldenFixedMatchesImplicit runs the same full simulation under the
+// precomputed FixedStepper and under the reference ImplicitSolver and
+// requires every temperature sample of every core to agree within 1e-6 C,
+// for both the paper's quad-core and a 16-core grid. This is the
+// whole-system guarantee that selecting the fast solver does not change
+// experiment outputs.
+func TestGoldenFixedMatchesImplicit(t *testing.T) {
+	cases := []struct {
+		name       string
+		rows, cols int
+		app        func() *workload.Application
+	}{
+		{"4core", 0, 0, lightApp},
+		{"16core", 4, 4, func() *workload.Application { return manycoreApp(16) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(kind platform.SolverKind) *Result {
+				cfg := DefaultRunConfig()
+				cfg.Platform.Solver = kind
+				if tc.rows > 0 {
+					cfg.Platform.GridRows, cfg.Platform.GridCols = tc.rows, tc.cols
+					cfg.Platform.Sched.NumCores = tc.rows * tc.cols
+				}
+				res, err := Run(cfg, tc.app(), LinuxPolicy{Kind: governor.Ondemand})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			fixed := run(platform.SolverFixed)
+			ref := run(platform.SolverImplicit)
+			if fixed.Trace.Len() != ref.Trace.Len() {
+				t.Fatalf("trace lengths differ: fixed %d vs implicit %d", fixed.Trace.Len(), ref.Trace.Len())
+			}
+			worst := 0.0
+			for c := range fixed.Trace.Cores {
+				fv := fixed.Trace.Cores[c].Values
+				rv := ref.Trace.Cores[c].Values
+				for i := range fv {
+					if d := math.Abs(fv[i] - rv[i]); d > worst {
+						worst = d
+						if d > 1e-6 {
+							t.Fatalf("core %d sample %d: fixed %.9f vs implicit %.9f (diff %.3g C)",
+								c, i, fv[i], rv[i], d)
+						}
+					}
+				}
+			}
+			t.Logf("%s: worst per-sample deviation %.3g C over %d samples", tc.name, worst, fixed.Trace.Len())
+		})
+	}
+}
+
+// TestDiscardTraceMatchesRetained requires the streaming scalar path
+// (DiscardTrace) to reproduce the retained-trace metrics bit for bit.
+func TestDiscardTraceMatchesRetained(t *testing.T) {
+	run := func(discard bool) *Result {
+		cfg := DefaultRunConfig()
+		cfg.DiscardTrace = discard
+		res, err := Run(cfg, lightApp(), LinuxPolicy{Kind: governor.Ondemand})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	full := run(false)
+	slim := run(true)
+	if slim.Trace != nil || slim.PowerTrace != nil {
+		t.Error("DiscardTrace retained a trace")
+	}
+	if full.Trace == nil || full.Trace.Len() == 0 {
+		t.Fatal("retained run has no trace")
+	}
+	checks := map[string][2]float64{
+		"ExecTimeS":    {full.ExecTimeS, slim.ExecTimeS},
+		"AvgTempC":     {full.AvgTempC, slim.AvgTempC},
+		"PeakTempC":    {full.PeakTempC, slim.PeakTempC},
+		"CyclingMTTF":  {full.CyclingMTTF, slim.CyclingMTTF},
+		"AgingMTTF":    {full.AgingMTTF, slim.AgingMTTF},
+		"CombinedMTTF": {full.CombinedMTTF, slim.CombinedMTTF},
+	}
+	for name, v := range checks {
+		if v[0] != v[1] {
+			t.Errorf("%s: retained %.17g vs streaming %.17g", name, v[0], v[1])
+		}
+	}
+}
+
+// TestDiscardTraceShortRun exercises the streaming path on a run that ends
+// before the warmup-trim decision: like trimWarmup's guard, nothing may be
+// trimmed.
+func TestDiscardTraceShortRun(t *testing.T) {
+	mk := func() *workload.Application {
+		sp := workload.TachyonSpec(workload.Set3)
+		sp.Iterations = 1
+		return sp.Generate()
+	}
+	cfg := DefaultRunConfig()
+	full, err := Run(cfg, mk(), LinuxPolicy{Kind: governor.Ondemand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := trimWarmup(full.Trace, cfg.WarmupSkipS); got != full.Trace {
+		t.Skip("run long enough to trim; short-run guard not exercised")
+	}
+	cfg.DiscardTrace = true
+	slim, err := Run(cfg, mk(), LinuxPolicy{Kind: governor.Ondemand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.AvgTempC != slim.AvgTempC || full.CyclingMTTF != slim.CyclingMTTF || full.AgingMTTF != slim.AgingMTTF {
+		t.Errorf("short-run metrics differ: retained (%.17g, %.17g, %.17g) vs streaming (%.17g, %.17g, %.17g)",
+			full.AvgTempC, full.CyclingMTTF, full.AgingMTTF, slim.AvgTempC, slim.CyclingMTTF, slim.AgingMTTF)
+	}
+}
+
+// TestTrimWarmupSharesBacking asserts the warm view reslices the recorded
+// samples in place — no copy — and still feeds ChipMTTF exactly like an
+// explicitly copied trimmed trace would.
+func TestTrimWarmupSharesBacking(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.WarmupSkipS = 5 // low enough that the short test run still trims
+	res, err := Run(cfg, lightApp(), LinuxPolicy{Kind: governor.Ondemand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := trimWarmup(res.Trace, cfg.WarmupSkipS)
+	if warm == res.Trace {
+		t.Fatal("run too short for the trim to engage")
+	}
+	skip := int(cfg.WarmupSkipS / res.Trace.IntervalS)
+	for c := range warm.Cores {
+		if &warm.Cores[c].Values[0] != &res.Trace.Cores[c].Values[skip] {
+			t.Fatalf("core %d: warm view copied the samples instead of reslicing", c)
+		}
+	}
+	// An explicit deep copy of the trimmed samples must give the same MTTFs.
+	copied := trace.NewMultiTrace(len(warm.Cores), warm.IntervalS)
+	for c, s := range warm.Cores {
+		copied.Cores[c].Values = append([]float64(nil), s.Values...)
+	}
+	vc, va := ChipMTTF(cfg, warm)
+	cc, ca := ChipMTTF(cfg, copied)
+	if vc != cc || va != ca {
+		t.Errorf("ChipMTTF on view (%.17g, %.17g) vs copy (%.17g, %.17g)", vc, va, cc, ca)
+	}
+}
+
+// TestSteadyStateLoopAllocFree asserts the per-sample hot path — one thermal
+// step, one pre-sized trace append, one streaming rainflow push per core —
+// performs zero allocations.
+func TestSteadyStateLoopAllocFree(t *testing.T) {
+	fp := thermal.QuadCoreFloorplan(thermal.DefaultFloorplanConfig())
+	stepper, err := thermal.NewFixedStepper(fp.Net, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 2000
+	mt := trace.NewMultiTraceCap(len(fp.Cores), 0.25, iters+8)
+	accs := make([]*reliability.MTTFAccumulator, len(fp.Cores))
+	for i := range accs {
+		accs[i] = reliability.NewMTTFAccumulator(reliability.DefaultCyclingParams(), reliability.DefaultAgingParams())
+	}
+	p := make([]float64, fp.Net.NumNodes())
+	temps := make([]float64, len(fp.Cores))
+	// Warm up so the rainflow stacks reach steady state.
+	step := func(i int) {
+		for c, node := range fp.Cores {
+			p[node] = 8 + 3*math.Sin(float64(i)/17+float64(c))
+		}
+		if err := stepper.Step(0.01, p); err != nil {
+			t.Fatal(err)
+		}
+		fp.CoreTemperatures(temps, stepper.Temperatures())
+		mt.Append(temps)
+		for c, v := range temps {
+			accs[c].Push(v)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		step(i)
+	}
+	i := 200
+	allocs := testing.AllocsPerRun(iters-300, func() {
+		step(i)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state loop allocated %.2f times per sample", allocs)
+	}
+}
+
+// TestConcurrentRunsBitIdentical runs the same cell in two concurrent
+// workers (as the service pool does) and serially, and requires bit-identical
+// results — the guard for the pooled buffer-reuse changes: no scratch state
+// may leak between platforms.
+func TestConcurrentRunsBitIdentical(t *testing.T) {
+	runOnce := func() *Result {
+		cfg := DefaultRunConfig()
+		cfg.DiscardTrace = true
+		res, err := Run(cfg, lightApp(), LinuxPolicy{Kind: governor.Ondemand})
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return res
+	}
+	serial := runOnce()
+	if serial == nil {
+		t.Fatal("serial run failed")
+	}
+	results := make([]*Result, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = runOnce()
+		}(w)
+	}
+	wg.Wait()
+	for w, r := range results {
+		if r == nil {
+			t.Fatalf("worker %d failed", w)
+		}
+		if r.ExecTimeS != serial.ExecTimeS || r.AvgTempC != serial.AvgTempC ||
+			r.PeakTempC != serial.PeakTempC || r.CyclingMTTF != serial.CyclingMTTF ||
+			r.AgingMTTF != serial.AgingMTTF || r.DynamicEnergyJ != serial.DynamicEnergyJ ||
+			r.Migrations != serial.Migrations {
+			t.Errorf("worker %d diverged from serial run: %+v vs %+v", w, r, serial)
+		}
+	}
+}

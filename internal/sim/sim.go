@@ -43,6 +43,13 @@ type RunConfig struct {
 	// the single ambient-to-operating ramp would be rainflow-counted as one
 	// giant cycle and dominate the fatigue stress of every policy alike).
 	WarmupSkipS float64
+	// DiscardTrace, when set, computes the thermal metrics online through
+	// the streaming rainflow/MTTF accumulators instead of retaining the
+	// oracle traces: Result.Trace and Result.PowerTrace are nil and the run
+	// holds only a bounded warmup buffer. The scalar metrics are identical
+	// to the retained-trace path. Use it for experiment rows that only need
+	// scalars; leave it off when the trace itself is exported (plots, CSV).
+	DiscardTrace bool
 	// Cycling and Aging are the reliability constants for ground-truth
 	// MTTF computation.
 	Cycling reliability.CyclingParams
@@ -171,8 +178,19 @@ func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) 
 	}
 	guard := newRunGuard(cfg, policy.Name()+"/"+work.Name())
 	windows := newWindowAgg(cfg, runSpan)
-	mt := trace.NewMultiTrace(p.NumCores(), cfg.RecordIntervalS)
-	pt := trace.NewMultiTrace(p.NumCores(), cfg.RecordIntervalS)
+	var mt, pt *trace.MultiTrace
+	var sc *scalarCollector
+	if cfg.DiscardTrace {
+		sc = newScalarCollector(cfg, p.NumCores())
+	} else {
+		// Pre-size the series so the recording loop never grows a slice
+		// mid-run. The estimate is the serialized-at-lowest-frequency upper
+		// bound on execution time, clamped to the runaway limit; in the rare
+		// case a run outlasts it, append simply grows.
+		capacity := traceCapacity(cfg, work)
+		mt = trace.NewMultiTraceCap(p.NumCores(), cfg.RecordIntervalS, capacity)
+		pt = trace.NewMultiTraceCap(p.NumCores(), cfg.RecordIntervalS, capacity)
+	}
 	nextRecord := 0.0
 	steps := int64(0)
 	for !p.Done() {
@@ -183,8 +201,12 @@ func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) 
 		if p.Now()+1e-9 >= nextRecord {
 			temps := p.Temperatures()
 			power := p.CorePower()
-			mt.Append(temps)
-			pt.Append(power)
+			if sc != nil {
+				sc.push(temps)
+			} else {
+				mt.Append(temps)
+				pt.Append(power)
+			}
 			if guard != nil {
 				guard.sample(p.Now(), temps)
 			}
@@ -208,7 +230,7 @@ func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) 
 			}
 		}
 	}
-	res := collect(cfg, p, mt, pt, policy.Name(), work.Name())
+	res := collect(cfg, p, mt, pt, sc, policy.Name(), work.Name())
 	if guard != nil {
 		guard.finals(res)
 	}
@@ -225,16 +247,13 @@ func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) 
 	return res, nil
 }
 
-func collect(cfg RunConfig, p *platform.Platform, mt, pt *trace.MultiTrace, policy, wl string) *Result {
-	warm := trimWarmup(mt, cfg.WarmupSkipS)
+func collect(cfg RunConfig, p *platform.Platform, mt, pt *trace.MultiTrace, sc *scalarCollector, policy, wl string) *Result {
 	res := &Result{
 		Policy:         policy,
 		Workload:       wl,
 		ExecTimeS:      p.Now(),
 		Trace:          mt,
 		PowerTrace:     pt,
-		AvgTempC:       warm.AverageTemperature(),
-		PeakTempC:      warm.PeakTemperature(),
 		DynamicEnergyJ: p.Meter().DynamicEnergy(),
 		StaticEnergyJ:  p.Meter().StaticEnergy(),
 		AvgDynPowerW:   p.Meter().AverageDynamicPower(),
@@ -243,30 +262,173 @@ func collect(cfg RunConfig, p *platform.Platform, mt, pt *trace.MultiTrace, poli
 		Migrations:     p.Scheduler().Migrations(),
 		AppSwitches:    p.AppSwitches(),
 	}
-	res.CyclingMTTF, res.AgingMTTF = ChipMTTF(cfg, warm)
+	var cycles int64
+	if sc != nil {
+		cycles = sc.finish(cfg, res)
+	} else {
+		warm := trimWarmup(mt, cfg.WarmupSkipS)
+		res.AvgTempC = warm.AverageTemperature()
+		res.PeakTempC = warm.PeakTemperature()
+		res.CyclingMTTF, res.AgingMTTF = ChipMTTF(cfg, warm)
+		cycles = countThermalCycles(warm)
+	}
 	res.CombinedMTTF = reliability.CombinedMTTF(res.CyclingMTTF, res.AgingMTTF)
 
 	mRuns.Inc()
 	mSimSeconds.Add(int64(res.ExecTimeS))
 	mAppSwitches.Add(int64(res.AppSwitches))
-	mCycles.Add(countThermalCycles(warm))
+	mCycles.Add(cycles)
 	mPeakTemp.Observe(res.PeakTempC)
 	mAvgTemp.Observe(res.AvgTempC)
 	return res
 }
 
+// traceCapacity estimates the per-core sample count of a run for pre-sizing:
+// the workload executed serially at the lowest operating frequency (an upper
+// bound on execution time), clamped to the runaway limit.
+func traceCapacity(cfg RunConfig, work workload.Workload) int {
+	minFreq := math.Inf(1)
+	for _, l := range cfg.Platform.Levels {
+		if l.FrequencyGHz > 0 && l.FrequencyGHz < minFreq {
+			minFreq = l.FrequencyGHz
+		}
+	}
+	worstS := cfg.MaxSimS
+	if !math.IsInf(minFreq, 1) && minFreq > 0 {
+		if est := work.TotalWork() / minFreq; est < worstS {
+			worstS = est
+		}
+	}
+	return int(worstS/cfg.RecordIntervalS) + 2
+}
+
 // trimWarmup returns a view of the trace with the first skipS seconds
-// removed (or the original trace if too short to trim).
+// removed (or the original trace itself if too short to trim). The view
+// reslices each core's sample storage in place — no sample is copied — so
+// the retained full trace and the warm view share one backing array.
 func trimWarmup(mt *trace.MultiTrace, skipS float64) *trace.MultiTrace {
 	skip := int(skipS / mt.IntervalS)
 	if skip <= 0 || mt.Len() <= skip+10 {
 		return mt
 	}
 	out := &trace.MultiTrace{IntervalS: mt.IntervalS, Cores: make([]*trace.Series, len(mt.Cores))}
+	series := make([]trace.Series, len(mt.Cores))
 	for i, s := range mt.Cores {
-		out.Cores[i] = &trace.Series{IntervalS: s.IntervalS, Values: s.Values[skip:]}
+		series[i] = trace.Series{IntervalS: s.IntervalS, Values: s.Values[skip:]}
+		out.Cores[i] = &series[i]
 	}
 	return out
+}
+
+// scalarCollector is the DiscardTrace sampling sink: it reproduces exactly
+// the metrics the retained-trace path derives (warmup trim, per-core
+// average/peak, streaming rainflow cycling MTTF and incremental aging MTTF)
+// without keeping the samples. Only the warmup head is buffered, because the
+// trim decision — skip the first skipS seconds, but only when the run is
+// long enough (trimWarmup's guard) — can't be made until enough samples have
+// arrived.
+type scalarCollector struct {
+	skip      int // samples to drop when trimming engages
+	buffering bool
+	head      *trace.MultiTrace // buffered head while the trim decision is open
+	accs      []*reliability.MTTFAccumulator
+	sum       []float64 // per-core temperature sum past warmup
+	max       []float64 // per-core peak past warmup
+	n         int       // samples per core past warmup
+}
+
+func newScalarCollector(cfg RunConfig, cores int) *scalarCollector {
+	sc := &scalarCollector{
+		accs: make([]*reliability.MTTFAccumulator, cores),
+		sum:  make([]float64, cores),
+		max:  make([]float64, cores),
+	}
+	for i := range sc.accs {
+		sc.accs[i] = reliability.NewMTTFAccumulator(cfg.Cycling, cfg.Aging)
+	}
+	for i := range sc.max {
+		sc.max[i] = math.Inf(-1)
+	}
+	if skip := int(cfg.WarmupSkipS / cfg.RecordIntervalS); skip > 0 {
+		sc.skip = skip
+		sc.buffering = true
+		sc.head = trace.NewMultiTraceCap(cores, cfg.RecordIntervalS, skip+11)
+	}
+	return sc
+}
+
+func (sc *scalarCollector) push(temps []float64) {
+	if sc.buffering {
+		sc.head.Append(temps)
+		if sc.head.Len() > sc.skip+10 {
+			// The run is long enough that the warmup trim applies: replay
+			// the buffered samples past the skip point and stream directly
+			// from now on. The head buffer (and with it the warmup ramp) is
+			// dropped.
+			sc.buffering = false
+			for i := sc.skip; i < sc.head.Len(); i++ {
+				sc.feedAt(sc.head, i)
+			}
+			sc.head = nil
+		}
+		return
+	}
+	for c, v := range temps {
+		sc.feed(c, v)
+	}
+	sc.n++
+}
+
+func (sc *scalarCollector) feedAt(mt *trace.MultiTrace, i int) {
+	for c, s := range mt.Cores {
+		sc.feed(c, s.Values[i])
+	}
+	sc.n++
+}
+
+func (sc *scalarCollector) feed(c int, v float64) {
+	sc.accs[c].Push(v)
+	sc.sum[c] += v
+	if v > sc.max[c] {
+		sc.max[c] = v
+	}
+}
+
+// finish derives the thermal metrics into res and returns the rainflow cycle
+// count (the mCycles metric).
+func (sc *scalarCollector) finish(cfg RunConfig, res *Result) int64 {
+	if sc.buffering {
+		// Run ended before the trim decision: like trimWarmup's guard, keep
+		// everything.
+		for i := 0; i < sc.head.Len(); i++ {
+			sc.feedAt(sc.head, i)
+		}
+		sc.head = nil
+	}
+	var sum float64
+	peak := math.Inf(-1)
+	cycling, aging := math.Inf(1), math.Inf(1)
+	var cycles int64
+	for c := range sc.accs {
+		sum += sc.sum[c]
+		if sc.max[c] > peak {
+			peak = sc.max[c]
+		}
+		cy, ag := sc.accs[c].Finish(cfg.RecordIntervalS)
+		if cy < cycling {
+			cycling = cy
+		}
+		if ag < aging {
+			aging = ag
+		}
+		cycles += sc.accs[c].Cycles()
+	}
+	if n := sc.n * len(sc.accs); n > 0 {
+		res.AvgTempC = sum / float64(n)
+	}
+	res.PeakTempC = peak
+	res.CyclingMTTF, res.AgingMTTF = cycling, aging
+	return cycles
 }
 
 // ChipMTTF computes the chip-level cycling and aging MTTFs (years) from an

@@ -134,17 +134,19 @@ func (s *ImplicitSolver) SetTemperatures(t []float64) error {
 	return nil
 }
 
-// buildMatrix assembles C/h + G (with ambient conductances on the diagonal).
-func (s *ImplicitSolver) buildMatrix(h float64) []float64 {
-	n := s.net.NumNodes()
+// systemMatrix assembles the backward-Euler system matrix C/h + G (with
+// ambient conductances on the diagonal), shared by the ImplicitSolver and the
+// FixedStepper.
+func systemMatrix(net *Network, h float64) []float64 {
+	n := net.NumNodes()
 	m := make([]float64, n*n)
 	for i := 0; i < n; i++ {
-		diag := s.net.nodes[i].Capacitance/h + s.net.nodes[i].AmbientConductance
+		diag := net.nodes[i].Capacitance/h + net.nodes[i].AmbientConductance
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			g := s.net.g[i][j]
+			g := net.g[i][j]
 			if g != 0 {
 				m[i*n+j] = -g
 				diag += g
@@ -165,7 +167,7 @@ func (s *ImplicitSolver) Step(dt float64, p []float64) error {
 		return fmt.Errorf("thermal: implicit step: dt must be positive, got %g", dt)
 	}
 	if s.fact == nil || s.fact.step != dt {
-		f, err := factorize(n, s.buildMatrix(dt))
+		f, err := factorize(n, systemMatrix(s.net, dt))
 		if err != nil {
 			return err
 		}

@@ -25,6 +25,16 @@ func NewSeries(intervalS float64) *Series {
 	return &Series{IntervalS: intervalS}
 }
 
+// NewSeriesCap creates an empty series pre-sized to hold capacity samples
+// without growing, so a recording loop with a known duration never
+// reallocates mid-run.
+func NewSeriesCap(intervalS float64, capacity int) *Series {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Series{IntervalS: intervalS, Values: make([]float64, 0, capacity)}
+}
+
 // Append adds a sample.
 func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
 
@@ -230,6 +240,16 @@ func NewMultiTrace(n int, intervalS float64) *MultiTrace {
 	return mt
 }
 
+// NewMultiTraceCap creates a trace for n cores pre-sized to hold capacity
+// samples per core without growing.
+func NewMultiTraceCap(n int, intervalS float64, capacity int) *MultiTrace {
+	mt := &MultiTrace{IntervalS: intervalS, Cores: make([]*Series, n)}
+	for i := range mt.Cores {
+		mt.Cores[i] = NewSeriesCap(intervalS, capacity)
+	}
+	return mt
+}
+
 // Append records one sample per core; temps must have one entry per core.
 func (mt *MultiTrace) Append(temps []float64) {
 	for i, s := range mt.Cores {
@@ -275,15 +295,20 @@ func (mt *MultiTrace) MeanSeries() *Series {
 	return out
 }
 
-// AverageTemperature returns the grand mean over all cores and samples.
+// AverageTemperature returns the grand mean over all cores and samples. The
+// sum associates per core first (each core's samples are summed, then the
+// core subtotals are added), matching the order a streaming per-core
+// collector accumulates in, so batch and online paths agree bit for bit.
 func (mt *MultiTrace) AverageTemperature() float64 {
 	var sum float64
 	var n int
 	for _, s := range mt.Cores {
+		var cs float64
 		for _, v := range s.Values {
-			sum += v
-			n++
+			cs += v
 		}
+		sum += cs
+		n += len(s.Values)
 	}
 	if n == 0 {
 		return 0

@@ -104,6 +104,16 @@ func (t *Thread) Activity() float64 {
 // done).
 func (t *Thread) PhaseIndex() int { return t.cur }
 
+// RemainingInPhase returns the work left in the current phase, giga-cycles
+// (0 when done). The scheduler uses it to bound how many ticks can elapse
+// before the thread crosses a phase boundary.
+func (t *Thread) RemainingInPhase() float64 {
+	if t.Done() {
+		return 0
+	}
+	return t.remaining
+}
+
 // NumPhases returns the total number of phases in the script.
 func (t *Thread) NumPhases() int { return len(t.phases) }
 
@@ -146,6 +156,20 @@ func (t *Thread) Advance(amount float64) float64 {
 		}
 	}
 	return used
+}
+
+// AdvanceWithin executes amount giga-cycles of work when it is strictly
+// inside the current phase, reporting false (and doing nothing) if the
+// amount would reach the phase boundary. It is the inlinable fast path the
+// scheduler uses during steady windows, where the window margin guarantees
+// no phase ends; the bookkeeping is identical to Advance's interior case.
+func (t *Thread) AdvanceWithin(amount float64) bool {
+	if t.Done() || t.atBarrier || amount >= t.remaining {
+		return false
+	}
+	t.remaining -= amount
+	t.completed += amount
+	return true
 }
 
 // ReleaseBarrier unblocks a thread waiting at a barrier and moves it to the
