@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt-check vet test race recover-test bench bench-smoke bench-compare bench-compare-smoke ci
+.PHONY: all build fmt-check vet test race recover-test cluster-test bench bench-smoke bench-compare bench-compare-smoke ci
 
 # Committed benchmark baseline that bench-compare diffs against.
 BENCH_BASELINE ?= BENCH_pr4.json
@@ -26,6 +26,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Multi-node suite under the race detector: sharded dispatch, lease expiry
+# and reassignment, heartbeat failure detection, kill-mid-job bit-identity,
+# and saturation backpressure through the public API.
+cluster-test:
+	$(GO) test -race ./internal/cluster
+
 # Crash-recovery suite under the race detector: WAL torn-tail truncation at
 # every byte offset, kill-and-restart resume, checkpoint warm starts.
 recover-test:
@@ -34,12 +40,12 @@ recover-test:
 # Full benchmark sweep (quick-mode experiment regeneration plus the
 # micro-benchmarks of every package). The human-readable benchstat text is
 # archived under results/ so runs are comparable across commits, and the same
-# run is distilled into BENCH_pr5.json (name -> ns/op, B/op, allocs/op) at
+# run is distilled into BENCH_pr6.json (name -> ns/op, B/op, allocs/op) at
 # the repo root for machine consumption.
 bench:
 	@mkdir -p results
 	$(GO) test -bench . -benchmem -count=1 -run '^$$' ./... | tee results/bench.txt
-	$(GO) run ./cmd/benchjson -o BENCH_pr5.json results/bench.txt
+	$(GO) run ./cmd/benchjson -o BENCH_pr6.json results/bench.txt
 
 # Benchmark smoke: every benchmark compiles and survives one iteration.
 bench-smoke:
@@ -61,4 +67,4 @@ bench-compare-smoke:
 	$(GO) test -bench 'BenchmarkFig[13]$$' -benchmem -benchtime 2x -run '^$$' . | tee results/bench-compare-smoke.txt
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) results/bench-compare-smoke.txt
 
-ci: build fmt-check vet race bench-smoke bench-compare-smoke
+ci: build fmt-check vet race cluster-test bench-smoke bench-compare-smoke

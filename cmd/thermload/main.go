@@ -1,0 +1,53 @@
+// Command thermload drives a thermserved instance with an open-loop burst
+// of job submissions and reports the admission-control behavior: how many
+// jobs were accepted, how many bounced off the queue limit with 429 +
+// Retry-After, and the submit-latency percentiles.
+//
+// Usage:
+//
+//	thermload [-url http://127.0.0.1:8080] [-rate 50] [-duration 5s]
+//	          [-payload '{"experiment":"suite","quick":true}']
+//
+// Open loop means the tool submits at the configured rate no matter how the
+// server responds — the arrival process that actually saturates a queue.
+// Point it at a thermserved started with -max-queue-cells to watch
+// backpressure engage.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "thermserved base URL")
+	rate := flag.Float64("rate", 50, "submissions per second")
+	duration := flag.Duration("duration", 5*time.Second, "how long to submit")
+	payload := flag.String("payload", `{"experiment":"suite","quick":true}`, "JSON body for POST /v1/jobs")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	res, err := loadgen.Run(ctx, loadgen.Options{
+		URL:      *url,
+		Rate:     *rate,
+		Duration: *duration,
+		Payload:  *payload,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermload:", err)
+		os.Exit(2)
+	}
+	fmt.Print(res.Summary())
+	if res.Failed > 0 {
+		os.Exit(1)
+	}
+}

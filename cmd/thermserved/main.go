@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	thermserved [-addr :8080] [-workers N] [-ttl 1h] [-data-dir DIR]
+//	thermserved [-role standalone|coordinator|worker]
+//	            [-addr :8080] [-workers N] [-ttl 1h] [-data-dir DIR]
 //	            [-flight-dir DIR] [-temp-ceiling C] [-stall-deadline 5m]
 //	            [-log-level info] [-debug-addr :6060]
+//	            [-max-queue-cells N] [-lease-ttl 10m] [-heartbeat-every 2s]
+//	            [-join URL] [-advertise URL] [-capacity N]
 //
 // Endpoints:
 //
@@ -49,6 +52,23 @@
 // requests drain, the pool cancels and finalizes running jobs, and with
 // -data-dir the journal is compacted and closed so the next boot replays a
 // snapshot instead of the raw WAL.
+//
+// -role selects the node's place in a cluster (see internal/cluster and the
+// README's "Cluster mode" section):
+//
+//   - standalone (default): everything above, cells run in-process.
+//   - coordinator: same public API and durability, but cells are sharded
+//     across registered workers by consistent hashing, under time-bounded
+//     leases, with /cluster/v1/* mounted for worker traffic. -lease-ttl and
+//     -heartbeat-every tune failure detection.
+//   - worker: no public job API; the node registers with the coordinator at
+//     -join, advertises itself at -advertise (default http://127.0.0.1<addr>
+//     when -addr has no host), heartbeats, and executes up to -capacity
+//     assigned cells concurrently.
+//
+// -max-queue-cells bounds the standalone/coordinator admission queue: while
+// more cells than that are queued or running, POST /v1/jobs returns 429 with
+// a Retry-After estimate instead of accepting unbounded work.
 package main
 
 import (
@@ -65,12 +85,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/durable"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
 
 func main() {
+	role := flag.String("role", "standalone", "node role: standalone, coordinator or worker")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker count (0 = number of CPUs)")
 	ttl := flag.Duration("ttl", service.DefaultTTL, "how long finished jobs stay queryable")
@@ -81,8 +103,14 @@ func main() {
 	tempCeiling := flag.Float64("temp-ceiling", 0, "core temperature (C) above which a run trips a thermal-runaway alert (0 = ceiling check disabled)")
 	stallDeadline := flag.Duration("stall-deadline", service.DefaultStallDeadline, "no-progress window after which a running job trips a stall alert")
 	traceKeep := flag.Int("trace-keep", durable.DefaultTraceKeep, "archived span traces retained under the data dir")
+	maxQueueCells := flag.Int("max-queue-cells", 0, "admission limit: queued+running cells above which POST /v1/jobs returns 429 (0 = unlimited)")
+	leaseTTL := flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "coordinator: how long a worker holds a cell before it is reassigned")
+	heartbeatEvery := flag.Duration("heartbeat-every", cluster.DefaultHeartbeatEvery, "coordinator: worker heartbeat period (a worker silent for 5x this is declared dead)")
+	join := flag.String("join", "", "worker: coordinator base URL to register with")
+	advertise := flag.String("advertise", "", "worker: URL the coordinator reaches this node at (default http://127.0.0.1<addr> when -addr has no host)")
+	capacity := flag.Int("capacity", 0, "worker: max concurrently assigned cells (0 = number of CPUs)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-addr :8080] [-workers N] [-ttl 1h] [-data-dir DIR] [-flight-dir DIR] [-temp-ceiling C] [-stall-deadline 5m] [-log-level info] [-debug-addr :6060]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-role standalone|coordinator|worker] [-addr :8080] [-workers N] [-ttl 1h] [-data-dir DIR] [-flight-dir DIR] [-temp-ceiling C] [-stall-deadline 5m] [-log-level info] [-debug-addr :6060] [-max-queue-cells N] [-lease-ttl 10m] [-heartbeat-every 2s] [-join URL] [-advertise URL] [-capacity N]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -98,8 +126,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	switch *role {
+	case "standalone", "coordinator":
+	case "worker":
+		runWorker(ctx, log, *addr, *join, *advertise, *capacity)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "thermserved: unknown -role %q (want standalone, coordinator or worker)\n", *role)
+		os.Exit(2)
+	}
+
 	store := service.NewStore(*ttl)
 	pool := service.NewPool(store, *workers)
+	if *maxQueueCells > 0 {
+		pool.SetMaxQueuedCells(*maxQueueCells)
+	}
+	var coord *cluster.Coordinator
+	if *role == "coordinator" {
+		coord = cluster.NewCoordinator(pool, cluster.Config{LeaseTTL: *leaseTTL, HeartbeatEvery: *heartbeatEvery})
+	}
 
 	// Arm the flight recorder before any job can run — including the ones the
 	// journal recovery below re-enqueues.
@@ -137,6 +182,12 @@ func main() {
 		pool.SetTraceStore(traces)
 		restored, resumed := pool.Recover(journal.Recovered())
 		log.Info("durable store attached", "data_dir", *dataDir, "restored_jobs", restored, "resumed_jobs", resumed)
+	}
+	if coord != nil {
+		// The sweeper must run before the pool starts: recovered jobs begin
+		// dispatching immediately and block until workers register.
+		coord.Start()
+		log.Info("coordinating", "lease_ttl", *leaseTTL, "heartbeat_every", *heartbeatEvery)
 	}
 	pool.Start()
 
@@ -186,7 +237,14 @@ func main() {
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewServer(store, pool)}
+	var handler http.Handler = service.NewServer(store, pool)
+	if coord != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/v1/", coord.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
 		log.Info("listening", "addr", *addr, "workers", pool.Workers())
@@ -208,6 +266,9 @@ func main() {
 		log.Warn("http shutdown", "err", err)
 	}
 	pool.Stop()
+	if coord != nil {
+		coord.Stop()
+	}
 	if journal != nil {
 		// The pool has finalized every job, so compacting now folds those
 		// terminal states into the snapshot and the next boot replays an
@@ -219,4 +280,64 @@ func main() {
 			log.Error("journal close failed", "err", err)
 		}
 	}
+}
+
+// runWorker is the -role=worker main loop: serve /cluster/v1/assign plus
+// /healthz and /metrics on addr, register with the coordinator at join, and
+// heartbeat until the process is signalled.
+func runWorker(ctx context.Context, log *slog.Logger, addr, join, advertise string, capacity int) {
+	if join == "" {
+		fmt.Fprintln(os.Stderr, "thermserved: -role=worker requires -join <coordinator URL>")
+		os.Exit(2)
+	}
+	if advertise == "" {
+		// A bare ":8081" listen address means "any interface"; the only
+		// self-URL derivable from that is loopback, which is right for
+		// single-host clusters. Multi-host setups must pass -advertise.
+		if len(addr) == 0 || addr[0] != ':' {
+			fmt.Fprintln(os.Stderr, "thermserved: -role=worker requires -advertise when -addr has an explicit host")
+			os.Exit(2)
+		}
+		advertise = "http://127.0.0.1" + addr
+	}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		ID:             fmt.Sprintf("%s-%d", host, os.Getpid()),
+		CoordinatorURL: join,
+		AdvertiseURL:   advertise,
+		Capacity:       capacity,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermserved:", err)
+		os.Exit(2)
+	}
+
+	srv := &http.Server{Addr: addr, Handler: w.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Info("worker listening", "addr", addr, "advertise", advertise, "coordinator", join)
+		errc <- srv.ListenAndServe()
+	}()
+	if err := w.Start(ctx); err != nil {
+		log.Error("worker start failed", "err", err)
+		os.Exit(1)
+	}
+
+	select {
+	case err := <-errc:
+		w.Stop()
+		log.Error("worker server failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	log.Info("worker shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Warn("http shutdown", "err", err)
+	}
+	w.Stop()
 }

@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"log/slog"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// BenchmarkClusterDispatch measures coordinator dispatch throughput: a b.N-cell
+// campaign sharded over three in-process workers whose cells return instantly,
+// so ns/op is the per-cell cost of the full lease round trip — acquire a slot,
+// grant the lease, HTTP assign, HTTP complete, decode and commit.
+func BenchmarkClusterDispatch(b *testing.B) {
+	// Registration/heartbeat logs interleave with the benchmark's result
+	// line and break `go test -bench` output parsing; silence them.
+	prev := slog.Default()
+	slog.SetDefault(slog.New(slog.DiscardHandler))
+	b.Cleanup(func() { slog.SetDefault(prev) })
+
+	tc := startTestCluster(b, testClusterConfig(), func(_ *service.Store, p *service.Pool) {
+		p.SetPlanner(stubPlanner(b.N, 0))
+	})
+	for i := 0; i < 3; i++ {
+		tc.addWorker(8, stubExecutor(0))
+	}
+	b.ResetTimer()
+	final := tc.submitAndWait(service.Spec{Experiment: "suite", Quick: true}, 10*time.Minute)
+	b.StopTimer()
+	if final.State != service.StateDone {
+		b.Fatalf("bench job finished %s: %s", final.State, final.Error)
+	}
+	if final.Progress.DoneCells != b.N {
+		b.Fatalf("dispatched %d cells, want %d", final.Progress.DoneCells, b.N)
+	}
+}

@@ -1,0 +1,87 @@
+// Package cluster splits the thermserved job service into a coordinator and
+// N worker nodes, so a single process's worker pool stops being the ceiling
+// for campaign throughput.
+//
+// Topology: workers register with the coordinator over HTTP and send
+// periodic heartbeats. The coordinator keeps the public /v1/jobs API and the
+// durable journal, but instead of executing cells in-process it shards them
+// across live workers by consistent hashing on the cell id, granting each
+// assignment a time-bounded lease. A worker executes its cell by replanning
+// the job's spec (cells are explicitly seeded, so any node computes the same
+// row) and streams the result back to the coordinator, which aggregates rows
+// bit-identically to a standalone run.
+//
+// Failure semantics: a worker that misses enough heartbeats is declared dead
+// — its leases are force-expired and the cells reassigned to the next live
+// worker on the hash ring. A lease that outlives its TTL (slow or wedged
+// worker) is reassigned the same way; a late result arriving for an expired
+// lease is dropped idempotently, so a cell commits at most once. Because the
+// coordinator journals every committed cell through internal/durable, both
+// in-process reassignment and a full coordinator restart re-feed only the
+// uncommitted cells.
+//
+// Backpressure: admission control on /v1/jobs (queue-depth-aware 429 with
+// Retry-After, service.OverloadedError) bounds the coordinator's queue, and
+// a per-worker inflight cap bounds each worker; dispatch blocks until a slot
+// frees rather than overrunning a node.
+package cluster
+
+import (
+	"net/http"
+	"time"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultLeaseTTL bounds how long one cell assignment may stay
+	// outstanding before the coordinator reassigns it. It must exceed the
+	// longest cell runtime; campaign cells run minutes at full fidelity.
+	DefaultLeaseTTL = 10 * time.Minute
+	// DefaultHeartbeatEvery is the worker heartbeat period.
+	DefaultHeartbeatEvery = 2 * time.Second
+	// DefaultExpireAfter is how long a silent worker stays alive before it
+	// is declared dead and its leases are reassigned.
+	DefaultExpireAfter = 5 * DefaultHeartbeatEvery
+	// DefaultRingReplicas is the virtual-node count per worker on the hash
+	// ring; enough that three workers land within a few percent of even.
+	DefaultRingReplicas = 128
+)
+
+// Config parameterizes a Coordinator. The zero value selects every default.
+type Config struct {
+	// LeaseTTL bounds one cell assignment; 0 selects DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is handed to workers at registration; 0 selects
+	// DefaultHeartbeatEvery.
+	HeartbeatEvery time.Duration
+	// ExpireAfter declares a silent worker dead; 0 selects
+	// DefaultExpireAfter.
+	ExpireAfter time.Duration
+	// RingReplicas is the virtual-node count per worker; 0 selects
+	// DefaultRingReplicas.
+	RingReplicas int
+	// Client performs coordinator → worker assignment requests; nil selects
+	// a client with a short dial-oriented timeout (the assignment ACK is
+	// immediate; results stream back on a separate connection).
+	Client *http.Client
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = DefaultLeaseTTL
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if c.ExpireAfter <= 0 {
+		c.ExpireAfter = 5 * c.HeartbeatEvery
+	}
+	if c.RingReplicas <= 0 {
+		c.RingReplicas = DefaultRingReplicas
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return c
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+// TestClusterStubDispatch is the dispatch smoke test: a 3-worker cluster
+// runs a 24-cell stub campaign and assembles rows bit-identical to a
+// standalone pool over the same plan, with the work actually sharded.
+func TestClusterStubDispatch(t *testing.T) {
+	const cells = 24
+	spec := service.Spec{Experiment: "suite", Quick: true}
+	want := runStandalone(t, cells, spec)
+
+	tc := startTestCluster(t, testClusterConfig(), func(_ *service.Store, p *service.Pool) {
+		p.SetPlanner(stubPlanner(cells, 0))
+	})
+	for i := 0; i < 3; i++ {
+		tc.addWorker(4, stubExecutor(0))
+	}
+	final := tc.submitAndWait(spec, time.Minute)
+	if final.State != service.StateDone {
+		t.Fatalf("cluster job finished %s: %s", final.State, final.Error)
+	}
+	rowsAny, _ := tc.store.Rows(final.ID)
+	rows := rowsAny.([]experiments.SuiteRow)
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("cluster rows differ from standalone:\n got %+v\nwant %+v", rows, want)
+	}
+	if got := tc.metric("thermserved_cluster_leases_granted_total"); got < cells {
+		t.Errorf("leases granted %v, want >= %d", got, cells)
+	}
+	// All three workers should have taken a share of 24 hashed cells.
+	var total int64
+	for _, w := range tc.workers {
+		if w.Executed() == 0 {
+			t.Errorf("worker executed nothing; sharding is broken")
+		}
+		total += w.Executed()
+	}
+	if total != cells {
+		t.Errorf("workers executed %d cells, want %d", total, cells)
+	}
+	if got := tc.metric("thermserved_cluster_workers_alive"); got != 3 {
+		t.Errorf("workers_alive %v, want 3", got)
+	}
+}
+
+// TestClusterJournalsWorkerAttribution checks the durable tie-in: every
+// cell committed by a cluster run lands in the journal with the worker id
+// that executed it, and the journaled state re-feeds nothing (no
+// uncommitted cells after completion).
+func TestClusterJournalsWorkerAttribution(t *testing.T) {
+	const cells = 6
+	dir := t.TempDir()
+	journal, err := durable.OpenJournal(filepath.Join(dir, "jobs"), durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := startTestCluster(t, testClusterConfig(), func(s *service.Store, p *service.Pool) {
+		p.SetPlanner(stubPlanner(cells, 0))
+		s.SetJournal(journal)
+	})
+	tc.addWorker(2, stubExecutor(0))
+	tc.addWorker(2, stubExecutor(0))
+	final := tc.submitAndWait(service.Spec{Experiment: "suite", Quick: true}, time.Minute)
+	if final.State != service.StateDone {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := durable.OpenJournal(filepath.Join(dir, "jobs"), durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	js, ok := reopened.Recovered().Jobs[final.ID]
+	if !ok {
+		t.Fatalf("job %s not in journal", final.ID)
+	}
+	if un := js.UncommittedCells(); len(un) != 0 {
+		t.Fatalf("finished job has uncommitted cells %v", un)
+	}
+	for idx, cs := range js.Cells {
+		if cs.Worker != "w0" && cs.Worker != "w1" {
+			t.Errorf("cell %d journaled with worker %q, want a cluster worker id", idx, cs.Worker)
+		}
+	}
+}
+
+// TestClusterSuiteBitIdenticalWithKill is the acceptance criterion: a
+// 3-worker cluster runs the real quick suite campaign, one worker is killed
+// mid-job, the dead worker's leases are reassigned, and the aggregated rows
+// are still bit-identical to the sequential runner.
+func TestClusterSuiteBitIdenticalWithKill(t *testing.T) {
+	seq, err := experiments.Suite(context.Background(), experiments.Config{Run: experiments.DefaultConfig().Run, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc := startTestCluster(t, testClusterConfig(), nil)
+	// The victim stalls its first assignment until the test kills it, so the
+	// kill is guaranteed to land with work genuinely in flight on the dying
+	// node; the survivors run the real ExecuteCell.
+	victimGot := make(chan struct{})
+	victimDead := make(chan struct{})
+	var once sync.Once
+	victim := tc.addWorker(2, func(ctx context.Context, _ service.Spec, _ int, _ json.RawMessage) (json.RawMessage, error) {
+		once.Do(func() { close(victimGot) })
+		select {
+		case <-victimDead:
+		case <-ctx.Done():
+		}
+		return nil, context.Canceled
+	})
+	tc.addWorker(2, nil) // real ExecuteCell
+	tc.addWorker(2, nil)
+	job, err := tc.pool.Submit(service.Spec{Experiment: "suite", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-victimGot:
+	case <-time.After(time.Minute):
+		t.Fatal("victim worker never received work")
+	}
+	victim.Kill()
+	close(victimDead)
+
+	final := tc.wait(job.ID, 5*time.Minute)
+	if final.State != service.StateDone {
+		t.Fatalf("cluster job finished %s: %s", final.State, final.Error)
+	}
+	rowsAny, _ := tc.store.Rows(job.ID)
+	rows := rowsAny.([]experiments.SuiteRow)
+	if len(rows) != len(seq) {
+		t.Fatalf("cluster produced %d rows, sequential %d", len(rows), len(seq))
+	}
+	for i := range rows {
+		if rows[i] != seq[i] {
+			t.Errorf("row %d differs: cluster %+v vs sequential %+v", i, rows[i], seq[i])
+		}
+	}
+	if got := tc.metric("thermserved_cluster_leases_reassigned_total"); got < 1 {
+		t.Errorf("leases reassigned %v, want >= 1 after killing a loaded worker", got)
+	}
+	if got := tc.metric("thermserved_cluster_workers_alive"); got != 2 {
+		t.Errorf("workers_alive %v after kill, want 2", got)
+	}
+}

@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// Coordinator is the cluster's control plane. It owns the membership, the
+// lease table and the cluster HTTP endpoints, and plugs into the service
+// pool as its CellRunner: the pool keeps doing submission, journaling,
+// recovery and aggregation exactly as in standalone mode, while every cell
+// execution is leased out to a registered worker instead of running
+// in-process.
+type Coordinator struct {
+	cfg     Config
+	pool    *service.Pool
+	members *Membership
+	leases  *Leases
+	mux     *http.ServeMux
+	log     *slog.Logger
+
+	// sweeper lifecycle.
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	leasesGranted    *telemetry.Counter
+	leasesReassigned *telemetry.Counter
+	leasesExpired    *telemetry.Counter
+	duplicateResults *telemetry.Counter
+	workersDead      *telemetry.Counter
+	dispatchSeconds  *telemetry.Histogram
+}
+
+// NewCoordinator builds a coordinator over pool and installs itself as the
+// pool's cell runner. Call Start before serving traffic and Stop on
+// shutdown. The pool's registry gains the cluster metrics, so /metrics
+// exposes them alongside the job metrics.
+func NewCoordinator(pool *service.Pool, cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:     cfg,
+		pool:    pool,
+		members: NewMembership(cfg.RingReplicas),
+		leases:  NewLeases(),
+		mux:     http.NewServeMux(),
+		log:     telemetry.Component("coordinator"),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	reg := pool.Registry()
+	c.leasesGranted = reg.Counter("thermserved_cluster_leases_granted_total", "Cell leases granted to workers.")
+	c.leasesReassigned = reg.Counter("thermserved_cluster_leases_reassigned_total", "Cells reassigned after a lease expired or a worker died.")
+	c.leasesExpired = reg.Counter("thermserved_cluster_leases_expired_total", "Leases that expired before their result arrived.")
+	c.duplicateResults = reg.Counter("thermserved_cluster_duplicate_results_total", "Worker completions dropped idempotently (stale lease).")
+	c.workersDead = reg.Counter("thermserved_cluster_workers_dead_total", "Workers declared dead after missing heartbeats.")
+	c.dispatchSeconds = reg.Histogram("thermserved_cluster_dispatch_seconds",
+		"Latency from lease grant to the cell result arriving at the coordinator.", telemetry.DefBuckets)
+	reg.GaugeFunc("thermserved_cluster_workers_alive", "Workers currently registered and heartbeating.",
+		func() float64 { return float64(c.members.Alive()) })
+	reg.GaugeFunc("thermserved_cluster_leases_active", "Cell leases currently outstanding.",
+		func() float64 { return float64(c.leases.Active()) })
+	reg.GaugeFunc("thermserved_cluster_shard_imbalance",
+		"Max over mean lifetime cell assignments across live workers (1.0 = balanced, 0 = fewer than two loaded workers).",
+		func() float64 { return c.members.Imbalance() })
+
+	c.mux.HandleFunc("POST /cluster/v1/register", c.handleRegister)
+	c.mux.HandleFunc("POST /cluster/v1/heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("POST /cluster/v1/complete", c.handleComplete)
+	c.mux.HandleFunc("GET /cluster/v1/workers", c.handleWorkers)
+
+	pool.SetCellRunner(c.RunCell)
+	return c
+}
+
+// Membership exposes the worker registry (tests and the workers endpoint).
+func (c *Coordinator) Membership() *Membership { return c.members }
+
+// Leases exposes the lease table (tests).
+func (c *Coordinator) Leases() *Leases { return c.leases }
+
+// Handler serves the /cluster/v1/* routes; mount it on the same listener as
+// the public API.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Start launches the heartbeat-expiry sweeper.
+func (c *Coordinator) Start() {
+	go func() {
+		defer close(c.done)
+		period := c.cfg.ExpireAfter / 4
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
+		}
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.ctx.Done():
+				return
+			case <-tick.C:
+				for _, id := range c.members.Sweep(c.cfg.ExpireAfter) {
+					n := c.leases.ExpireWorker(id)
+					c.workersDead.Inc()
+					c.log.Warn("worker dead (missed heartbeats)", "worker", id, "leases_reassigned", n)
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the sweeper. Stop the pool first so no dispatch is in flight.
+func (c *Coordinator) Stop() {
+	c.cancel()
+	<-c.done
+}
+
+// RunCell is the pool's CellRunner in cluster mode: lease the cell to the
+// consistent-hash owner among live workers, wait for the result to stream
+// back, and reassign on expiry — forever, until the job's context is cut.
+// Only cells without a journaled outcome ever reach this point (the pool
+// re-feeds exactly the uncommitted cells, live or after a restart), so
+// reassignment can never double-commit a cell.
+func (c *Coordinator) RunCell(ctx context.Context, job string, spec service.Spec, idx int, cell experiments.Cell) (any, string, error) {
+	key := leaseKey(job, idx)
+	warm, err := c.warmPayload(spec)
+	if err != nil {
+		return nil, "", err
+	}
+	for attempt := 0; ; attempt++ {
+		wid, wurl, err := c.members.Acquire(ctx, key, attempt)
+		if err != nil {
+			return nil, "", err
+		}
+		lease := c.leases.Grant(job, idx, wid, c.cfg.LeaseTTL)
+		c.leasesGranted.Inc()
+		if attempt > 0 {
+			c.leasesReassigned.Inc()
+		}
+		start := time.Now()
+		go c.deliverAssign(wid, wurl, lease, AssignRequest{
+			Job: job, Cell: idx, LeaseID: lease.ID, Spec: spec, WarmAgent: warm,
+		})
+		select {
+		case res := <-lease.Done():
+			c.members.Release(wid)
+			c.dispatchSeconds.Observe(time.Since(start).Seconds())
+			if res.Err != "" {
+				return nil, wid, errors.New(res.Err)
+			}
+			row, err := experiments.DecodeCellRow(spec.Experiment, res.Row)
+			if err != nil {
+				return nil, wid, fmt.Errorf("cluster: worker %s returned undecodable row for %s: %w", wid, key, err)
+			}
+			return row, wid, nil
+		case <-lease.Expired():
+			c.leasesExpired.Inc()
+			c.members.Release(wid)
+			c.log.Warn("lease expired, reassigning cell", "job", job, "cell", idx, "worker", wid, "attempt", attempt)
+			// A lease that died instantly (unreachable worker) would
+			// otherwise retry in a tight loop; back off briefly, scaled by
+			// attempt, before the next grant.
+			if time.Since(start) < 100*time.Millisecond {
+				backoff := time.Duration(attempt+1) * 25 * time.Millisecond
+				if backoff > time.Second {
+					backoff = time.Second
+				}
+				select {
+				case <-time.After(backoff):
+				case <-ctx.Done():
+					return nil, "", ctx.Err()
+				}
+			}
+		case <-ctx.Done():
+			c.leases.Cancel(lease)
+			c.members.Release(wid)
+			return nil, "", ctx.Err()
+		}
+	}
+}
+
+// warmPayload resolves a spec's warm_start checkpoint to its raw payload, so
+// workers (which have no checkpoint store) receive the agent state inline.
+func (c *Coordinator) warmPayload(spec service.Spec) (json.RawMessage, error) {
+	if spec.WarmStart == "" {
+		return nil, nil
+	}
+	cs := c.pool.Checkpoints()
+	if cs == nil {
+		return nil, fmt.Errorf("cluster: warm_start %q: coordinator is running without a data directory", spec.WarmStart)
+	}
+	payload, _, err := cs.Get(spec.WarmStart)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: warm_start: %w", err)
+	}
+	return payload, nil
+}
+
+// deliverAssign posts the assignment to the worker. Any failure to deliver
+// (connection refused, non-202) force-expires the lease so the dispatcher
+// reassigns immediately instead of waiting out the TTL.
+func (c *Coordinator) deliverAssign(wid, wurl string, lease *Lease, req AssignRequest) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		c.log.Error("assignment not marshalable", "job", req.Job, "cell", req.Cell, "err", err)
+		c.leases.Expire(lease)
+		return
+	}
+	resp, err := c.cfg.Client.Post(wurl+"/cluster/v1/assign", "application/json", bytes.NewReader(body))
+	if err != nil {
+		c.log.Warn("assignment undeliverable", "worker", wid, "job", req.Job, "cell", req.Cell, "err", err)
+		c.leases.Expire(lease)
+		return
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+	if resp.StatusCode != http.StatusAccepted {
+		c.log.Warn("assignment refused", "worker", wid, "job", req.Job, "cell", req.Cell, "status", resp.StatusCode)
+		c.leases.Expire(lease)
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad register request: %v", err)
+		return
+	}
+	if err := c.members.Register(req.ID, req.URL, req.Capacity); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c.log.Info("worker registered", "worker", req.ID, "url", req.URL, "capacity", req.Capacity)
+	httpJSON(w, http.StatusOK, RegisterResponse{
+		HeartbeatEveryMs: c.cfg.HeartbeatEvery.Milliseconds(),
+		ExpireAfterMs:    c.cfg.ExpireAfter.Milliseconds(),
+		LeaseTTLMs:       c.cfg.LeaseTTL.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad heartbeat: %v", err)
+		return
+	}
+	if !c.members.Heartbeat(req.ID, req.Inflight) {
+		httpError(w, http.StatusNotFound, "unknown worker %q (re-register)", req.ID)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad completion: %v", err)
+		return
+	}
+	ok := c.leases.Complete(req.Job, req.Cell, req.LeaseID, req.Worker, Result{Row: req.Row, Err: req.Err})
+	if !ok {
+		// Stale or double delivery: drop idempotently. 200 (not an error)
+		// so the worker does not retry.
+		c.duplicateResults.Inc()
+		c.log.Info("stale completion dropped", "worker", req.Worker, "job", req.Job, "cell", req.Cell, "lease", req.LeaseID)
+	}
+	httpJSON(w, http.StatusOK, CompleteResponse{Duplicate: !ok})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	httpJSON(w, http.StatusOK, WorkersResponse{Workers: c.members.Snapshot()})
+}
+
+// httpJSON emits v with the given status.
+func httpJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // headers are out; nothing left to do
+}
+
+// httpError emits a JSON error envelope.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	httpJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

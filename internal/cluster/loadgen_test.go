@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/service"
+)
+
+// TestClusterSaturationBackpressure floods a small cluster through the real
+// public API with an open-loop burst well past its capacity and checks the
+// two sides of the admission contract: the overflow is rejected with 429 +
+// Retry-After, and every job that WAS accepted completes — saturation must
+// shed load, never lose it.
+func TestClusterSaturationBackpressure(t *testing.T) {
+	const cellsPerJob = 4
+	delay := 30 * time.Millisecond
+	tc := startTestCluster(t, testClusterConfig(), func(_ *service.Store, p *service.Pool) {
+		p.SetPlanner(stubPlanner(cellsPerJob, delay))
+		p.SetMaxQueuedCells(8)
+	})
+	tc.addWorker(2, stubExecutor(delay))
+	tc.addWorker(2, stubExecutor(delay))
+	api := httptest.NewServer(service.NewServer(tc.store, tc.pool))
+	defer api.Close()
+
+	// 200 jobs/s x 4 cells against 4 worker slots of 30ms cells is ~25x
+	// oversubscribed; the queue limit of 8 cells has to engage.
+	res, err := loadgen.Run(context.Background(), loadgen.Options{
+		URL:      api.URL,
+		Rate:     200,
+		Duration: 1500 * time.Millisecond,
+		Payload:  `{"experiment":"suite","quick":true}`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("loadgen: %s", res.Summary())
+	if res.Failed > 0 {
+		t.Fatalf("%d submissions failed outright: %v", res.Failed, res.Errors)
+	}
+	if res.Accepted == 0 {
+		t.Fatal("no submission was accepted")
+	}
+	if res.Rejected == 0 {
+		t.Fatal("saturation never produced a 429; admission control is not engaging")
+	}
+	if res.MaxRetryAfter <= 0 {
+		t.Error("429 responses carried no Retry-After")
+	}
+
+	// No accepted job may be lost: each one must reach done with every cell.
+	for _, id := range res.AcceptedIDs {
+		final := tc.wait(id, time.Minute)
+		if final.State != service.StateDone {
+			t.Fatalf("accepted job %s finished %s: %s", id, final.State, final.Error)
+		}
+		if final.Progress.DoneCells != cellsPerJob {
+			t.Fatalf("accepted job %s committed %d cells, want %d", id, final.Progress.DoneCells, cellsPerJob)
+		}
+	}
+	if got := tc.metric("thermserved_jobs_rejected_total"); got != float64(res.Rejected) {
+		t.Errorf("jobs_rejected_total %v, want %d", got, res.Rejected)
+	}
+}

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// member is the coordinator-side state of one registered worker.
+type member struct {
+	id       string
+	url      string
+	capacity int
+	// inflight counts cells currently leased to this worker; bounded by
+	// capacity through Acquire.
+	inflight int
+	// assigned is the lifetime lease count, feeding the shard-imbalance
+	// gauge.
+	assigned int64
+	lastBeat time.Time
+}
+
+// Membership tracks registered workers, their heartbeats and their inflight
+// budgets, and owns the consistent-hash ring used for placement. All methods
+// are safe for concurrent use.
+type Membership struct {
+	mu      sync.Mutex
+	ring    *ring
+	workers map[string]*member
+	// changed is closed and replaced whenever placement inputs change
+	// (registration, death, slot release), waking Acquire waiters.
+	changed chan struct{}
+	now     func() time.Time
+}
+
+// NewMembership builds an empty membership with the given virtual-node
+// count.
+func NewMembership(ringReplicas int) *Membership {
+	return &Membership{
+		ring:    newRing(ringReplicas),
+		workers: make(map[string]*member),
+		changed: make(chan struct{}),
+		now:     time.Now,
+	}
+}
+
+// broadcastLocked wakes every Acquire waiter. Callers hold m.mu.
+func (m *Membership) broadcastLocked() {
+	close(m.changed)
+	m.changed = make(chan struct{})
+}
+
+// Register adds (or replaces) a worker. Capacity <= 0 is normalized to 1.
+// Re-registration resets the heartbeat clock but keeps the lifetime assigned
+// count when the id was already known, so imbalance accounting survives a
+// worker restart.
+func (m *Membership) Register(id, url string, capacity int) error {
+	if id == "" || url == "" {
+		return fmt.Errorf("cluster: register needs id and url (got id=%q url=%q)", id, url)
+	}
+	if capacity <= 0 {
+		capacity = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &member{id: id, url: url, capacity: capacity, lastBeat: m.now()}
+	if old, ok := m.workers[id]; ok {
+		w.assigned = old.assigned
+	}
+	m.workers[id] = w
+	m.ring.Add(id)
+	m.broadcastLocked()
+	return nil
+}
+
+// Heartbeat refreshes a worker's liveness, reporting false for ids the
+// coordinator does not know (the worker should re-register).
+func (m *Membership) Heartbeat(id string, inflight int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.workers[id]
+	if !ok {
+		return false
+	}
+	w.lastBeat = m.now()
+	_ = inflight // reported for the status listing only; Acquire is authoritative
+	return true
+}
+
+// Sweep removes every worker whose last heartbeat is older than expireAfter
+// and returns their ids, so the caller can force-expire their leases.
+func (m *Membership) Sweep(expireAfter time.Duration) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cutoff := m.now().Add(-expireAfter)
+	var dead []string
+	for id, w := range m.workers {
+		if w.lastBeat.Before(cutoff) {
+			dead = append(dead, id)
+			delete(m.workers, id)
+			m.ring.Remove(id)
+		}
+	}
+	if len(dead) > 0 {
+		sort.Strings(dead)
+		m.broadcastLocked()
+	}
+	return dead
+}
+
+// Remove drops a worker immediately (operator action or a failed assign to
+// a worker that proved unreachable). Reports whether it was present.
+func (m *Membership) Remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.workers[id]; !ok {
+		return false
+	}
+	delete(m.workers, id)
+	m.ring.Remove(id)
+	m.broadcastLocked()
+	return true
+}
+
+// Acquire blocks until a live worker with a free inflight slot is available
+// for key and claims one slot on it, returning the worker's id and URL.
+// Placement prefers the key's consistent-hash owner; attempt > 0 (a
+// reassignment after an expired lease) rotates the preference order so the
+// retry lands on the owner's ring successor instead of hammering the same
+// node. Release must be called exactly once per successful Acquire.
+func (m *Membership) Acquire(ctx context.Context, key string, attempt int) (id, url string, err error) {
+	for {
+		m.mu.Lock()
+		seq := m.ring.Sequence(key)
+		if n := len(seq); n > 0 {
+			for i := 0; i < n; i++ {
+				w := m.workers[seq[(i+attempt)%n]]
+				if w == nil || w.inflight >= w.capacity {
+					continue
+				}
+				w.inflight++
+				w.assigned++
+				m.mu.Unlock()
+				return w.id, w.url, nil
+			}
+		}
+		ch := m.changed
+		m.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return "", "", ctx.Err()
+		}
+	}
+}
+
+// Release returns one inflight slot to a worker; a no-op for ids that died
+// in the meantime.
+func (m *Membership) Release(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.workers[id]
+	if !ok {
+		return
+	}
+	if w.inflight > 0 {
+		w.inflight--
+	}
+	m.broadcastLocked()
+}
+
+// Alive is the live worker count.
+func (m *Membership) Alive() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.workers)
+}
+
+// Snapshot lists the membership in id order for the workers endpoint.
+func (m *Membership) Snapshot() []WorkerStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	out := make([]WorkerStatus, 0, len(m.workers))
+	for _, w := range m.workers {
+		out = append(out, WorkerStatus{
+			ID:         w.id,
+			URL:        w.url,
+			Capacity:   w.capacity,
+			Inflight:   w.inflight,
+			Assigned:   w.assigned,
+			LastBeatMs: now.Sub(w.lastBeat).Milliseconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Imbalance is the shard-imbalance factor: max lifetime assignments over the
+// mean across live workers. 1.0 is perfectly balanced; 0 when fewer than two
+// workers have taken work (imbalance is meaningless there).
+func (m *Membership) Imbalance() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max, sum int64
+	n := 0
+	for _, w := range m.workers {
+		if w.assigned > max {
+			max = w.assigned
+		}
+		sum += w.assigned
+		n++
+	}
+	if n < 2 || sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(n) / float64(sum)
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"encoding/json"
+
+	"repro/internal/service"
+)
+
+// Wire types for the coordinator ⇄ worker HTTP protocol, all JSON. Durations
+// cross the wire as integer milliseconds so the payloads stay readable in
+// curl and logs.
+//
+// Coordinator routes (mounted under /cluster/v1/ on the public listener):
+//
+//	POST /cluster/v1/register   RegisterRequest  → RegisterResponse
+//	POST /cluster/v1/heartbeat  HeartbeatRequest → 204 (404 = re-register)
+//	POST /cluster/v1/complete   CompleteRequest  → CompleteResponse
+//	GET  /cluster/v1/workers    WorkersResponse (operator visibility)
+//
+// Worker routes:
+//
+//	POST /cluster/v1/assign     AssignRequest → 202 (429 full, 503 stopping)
+//	GET  /healthz               liveness
+//	GET  /metrics               Prometheus text exposition
+
+// RegisterRequest announces a worker to the coordinator. Re-registering an
+// existing id (worker restart, coordinator restart) replaces the previous
+// entry.
+type RegisterRequest struct {
+	// ID uniquely names the worker across the cluster.
+	ID string `json:"id"`
+	// URL is the worker's advertised base URL, reachable from the
+	// coordinator (e.g. http://10.0.0.7:8081).
+	URL string `json:"url"`
+	// Capacity is the worker's maximum concurrent cell count.
+	Capacity int `json:"capacity"`
+}
+
+// RegisterResponse hands the worker its operating parameters.
+type RegisterResponse struct {
+	// HeartbeatEveryMs is the heartbeat period the coordinator expects.
+	HeartbeatEveryMs int64 `json:"heartbeat_every_ms"`
+	// ExpireAfterMs is how long the coordinator tolerates silence before
+	// declaring the worker dead.
+	ExpireAfterMs int64 `json:"expire_after_ms"`
+	// LeaseTTLMs bounds each assignment; informational for the worker.
+	LeaseTTLMs int64 `json:"lease_ttl_ms"`
+}
+
+// HeartbeatRequest keeps a registration alive and reports load.
+type HeartbeatRequest struct {
+	ID string `json:"id"`
+	// Inflight is the worker's current concurrent cell count.
+	Inflight int `json:"inflight"`
+}
+
+// AssignRequest leases one cell of a job to a worker. The worker replans the
+// spec deterministically and runs cell index Cell; it does not need the
+// coordinator's journal or store.
+type AssignRequest struct {
+	Job string `json:"job"`
+	// Cell indexes the campaign's cell plan.
+	Cell int `json:"cell"`
+	// LeaseID must be echoed in the completion; a stale id identifies a
+	// result whose lease already expired and was reassigned.
+	LeaseID uint64 `json:"lease_id"`
+	// Spec is the job's submitted spec (experiment, fidelity, seed).
+	Spec service.Spec `json:"spec"`
+	// WarmAgent, when set, is the resolved warm-start checkpoint payload
+	// (saved rl.Agent state); the worker adopts it instead of resolving the
+	// checkpoint name against a store it does not have.
+	WarmAgent json.RawMessage `json:"warm_agent,omitempty"`
+}
+
+// CompleteRequest streams one cell result back to the coordinator. Exactly
+// one of Row and Err is meaningful.
+type CompleteRequest struct {
+	Worker  string          `json:"worker"`
+	Job     string          `json:"job"`
+	Cell    int             `json:"cell"`
+	LeaseID uint64          `json:"lease_id"`
+	Row     json.RawMessage `json:"row,omitempty"`
+	Err     string          `json:"err,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion. Duplicate is set when the
+// lease had already expired or been satisfied — the worker's result was
+// dropped idempotently, which is not an error.
+type CompleteResponse struct {
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// WorkerStatus is one row of the coordinator's worker listing.
+type WorkerStatus struct {
+	ID       string `json:"id"`
+	URL      string `json:"url"`
+	Capacity int    `json:"capacity"`
+	Inflight int    `json:"inflight"`
+	// Assigned is the lifetime count of cells leased to this worker.
+	Assigned int64 `json:"assigned"`
+	// LastBeatMs is milliseconds since the last heartbeat (or
+	// registration).
+	LastBeatMs int64 `json:"last_beat_ms"`
+}
+
+// WorkersResponse lists the live membership.
+type WorkersResponse struct {
+	Workers []WorkerStatus `json:"workers"`
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring with virtual nodes. Each member is hashed
+// onto the ring at `replicas` points; a key is owned by the first member
+// clockwise from the key's hash. Adding or removing one member moves only
+// the keys adjacent to its points, so worker churn reassigns a bounded slice
+// of the cell space instead of reshuffling everything.
+//
+// ring is not safe for concurrent use; Membership serializes access.
+type ring struct {
+	replicas int
+	// points is sorted by hash; ties (vanishingly rare with 64-bit FNV)
+	// resolve by member id for determinism.
+	points  []ringPoint
+	members map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+func newRing(replicas int) *ring {
+	if replicas <= 0 {
+		replicas = DefaultRingReplicas
+	}
+	return &ring{replicas: replicas, members: make(map[string]struct{})}
+}
+
+// hashKey maps an arbitrary string onto the ring.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key)) //nolint:errcheck // fnv never fails
+	return h.Sum64()
+}
+
+// Add inserts a member (idempotent).
+func (r *ring) Add(id string) {
+	if _, ok := r.members[id]; ok {
+		return
+	}
+	r.members[id] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: hashKey(id + "#" + strconv.Itoa(i)), id: id})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id
+	})
+}
+
+// Remove deletes a member and all its points (idempotent).
+func (r *ring) Remove(id string) {
+	if _, ok := r.members[id]; !ok {
+		return
+	}
+	delete(r.members, id)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.id != id {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len is the member count.
+func (r *ring) Len() int { return len(r.members) }
+
+// Sequence returns every member in preference order for key: the owner
+// first, then each distinct member encountered walking the ring clockwise.
+// Reassignment after a failure takes the next entry, so a dead owner's keys
+// spread to its ring successors instead of one designated backup.
+func (r *ring) Sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]struct{}, len(r.members))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, ok := seen[p.id]; ok {
+			continue
+		}
+		seen[p.id] = struct{}{}
+		out = append(out, p.id)
+	}
+	return out
+}
+
+// Owner returns the key's owner ("" on an empty ring).
+func (r *ring) Owner(key string) string {
+	seq := r.Sequence(key)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingSequence checks ownership determinism and the preference order's
+// distinctness.
+func TestRingSequence(t *testing.T) {
+	r := newRing(64)
+	if got := r.Sequence("anything"); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		r.Add(id)
+	}
+	r.Add("b") // idempotent
+	if r.Len() != 3 {
+		t.Fatalf("ring has %d members, want 3", r.Len())
+	}
+	seq := r.Sequence("job-000001/4")
+	if len(seq) != 3 {
+		t.Fatalf("sequence %v, want all 3 members", seq)
+	}
+	seen := map[string]bool{}
+	for _, id := range seq {
+		if seen[id] {
+			t.Fatalf("sequence %v repeats %s", seq, id)
+		}
+		seen[id] = true
+	}
+	// Ownership is deterministic.
+	for i := 0; i < 5; i++ {
+		if got := r.Owner("job-000001/4"); got != seq[0] {
+			t.Fatalf("owner flapped: %s then %s", seq[0], got)
+		}
+	}
+}
+
+// TestRingStability is the consistent-hashing property: removing one of
+// four members may only move keys that the removed member owned.
+func TestRingStability(t *testing.T) {
+	r := newRing(128)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		r.Add(id)
+	}
+	const keys = 1000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owner(fmt.Sprintf("job-%06d/%d", i/16, i%16))
+	}
+	r.Remove("c")
+	moved := 0
+	for i := range before {
+		after := r.Owner(fmt.Sprintf("job-%06d/%d", i/16, i%16))
+		if after == "c" {
+			t.Fatal("removed member still owns keys")
+		}
+		if after != before[i] {
+			if before[i] != "c" {
+				t.Fatalf("key %d moved %s -> %s although its owner stayed alive", i, before[i], after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed member; distribution is broken")
+	}
+}
+
+// TestRingBalance checks the virtual nodes spread keys within a sane factor.
+func TestRingBalance(t *testing.T) {
+	r := newRing(DefaultRingReplicas)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("job-%06d/%d", i/16, i%16))]++
+	}
+	for id, n := range counts {
+		if n < keys/3/2 || n > keys/3*2 {
+			t.Errorf("member %s owns %d of %d keys; distribution badly skewed: %v", id, n, keys, counts)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/rl"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// Executor runs one cell of a job spec on a worker node and returns the
+// row's JSON. The default, ExecuteCell, replans the spec with
+// experiments.Cells; tests and benchmarks substitute stubs.
+type Executor func(ctx context.Context, spec service.Spec, cell int, warmAgent json.RawMessage) (json.RawMessage, error)
+
+// WorkerConfig parameterizes a worker node.
+type WorkerConfig struct {
+	// ID uniquely names this worker to the coordinator.
+	ID string
+	// CoordinatorURL is the coordinator's base URL.
+	CoordinatorURL string
+	// AdvertiseURL is this worker's base URL as reachable from the
+	// coordinator.
+	AdvertiseURL string
+	// Capacity bounds concurrent cell executions; <= 0 selects
+	// runtime.NumCPU().
+	Capacity int
+	// Client performs worker → coordinator requests; nil selects a client
+	// with a 10s timeout.
+	Client *http.Client
+}
+
+// Worker is one cluster execution node: it registers with the coordinator,
+// heartbeats, accepts leased cell assignments up to its capacity, executes
+// them, and streams each result back.
+type Worker struct {
+	cfg    WorkerConfig
+	exec   Executor
+	client *http.Client
+	mux    *http.ServeMux
+	reg    *telemetry.Registry
+	log    *slog.Logger
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	inflight atomic.Int64
+	executed atomic.Int64
+	failed   atomic.Int64
+	// killed simulates a crash for failure-path tests: heartbeats stop, new
+	// assignments are refused, and in-flight results are dropped instead of
+	// posted — the process keeps running but the node is gone as far as the
+	// cluster can tell.
+	killed atomic.Bool
+
+	// heartbeatEvery arrives from the coordinator at registration.
+	mu             sync.Mutex
+	heartbeatEvery time.Duration
+}
+
+// NewWorker builds a worker node (not yet registered; call Start).
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.ID == "" || cfg.CoordinatorURL == "" || cfg.AdvertiseURL == "" {
+		return nil, fmt.Errorf("cluster: worker needs id, coordinator url and advertise url")
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = runtime.NumCPU()
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &Worker{
+		cfg:            cfg,
+		exec:           ExecuteCell,
+		client:         cfg.Client,
+		mux:            http.NewServeMux(),
+		reg:            telemetry.NewRegistry(),
+		log:            telemetry.Component("worker").With("worker", cfg.ID),
+		ctx:            ctx,
+		cancel:         cancel,
+		heartbeatEvery: DefaultHeartbeatEvery,
+	}
+	w.reg.GaugeFunc("thermworker_inflight", "Cells currently executing on this worker.",
+		func() float64 { return float64(w.inflight.Load()) })
+	w.reg.GaugeFunc("thermworker_capacity", "Configured concurrent cell capacity.",
+		func() float64 { return float64(cfg.Capacity) })
+	w.reg.CounterFunc("thermworker_cells_executed_total", "Cells executed successfully.",
+		func() float64 { return float64(w.executed.Load()) })
+	w.reg.CounterFunc("thermworker_cells_failed_total", "Cells that returned an error.",
+		func() float64 { return float64(w.failed.Load()) })
+	w.mux.HandleFunc("POST /cluster/v1/assign", w.handleAssign)
+	w.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(rw, "ok")
+	})
+	w.mux.Handle("GET /metrics", telemetry.Handler(w.reg, telemetry.Default()))
+	return w, nil
+}
+
+// SetExecutor replaces the cell executor (tests, benchmarks). Set before
+// Start.
+func (w *Worker) SetExecutor(e Executor) { w.exec = e }
+
+// Handler serves the worker's HTTP surface (assign, healthz, metrics).
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+// Inflight is the number of cells currently executing.
+func (w *Worker) Inflight() int64 { return w.inflight.Load() }
+
+// Executed is the lifetime count of successfully executed cells.
+func (w *Worker) Executed() int64 { return w.executed.Load() }
+
+// Start registers with the coordinator (retrying until ctx expires) and
+// launches the heartbeat loop.
+func (w *Worker) Start(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	w.wg.Add(1)
+	go w.heartbeatLoop()
+	return nil
+}
+
+// Stop halts heartbeats and waits for in-flight executions to finish
+// posting their results.
+func (w *Worker) Stop() {
+	w.cancel()
+	w.wg.Wait()
+}
+
+// Kill simulates a crash (tests): the worker stops heartbeating, refuses new
+// assignments and silently drops the results of anything still running.
+func (w *Worker) Kill() {
+	w.killed.Store(true)
+	w.cancel()
+}
+
+// register announces the worker and adopts the coordinator's heartbeat
+// period, retrying while the coordinator is unreachable.
+func (w *Worker) register(ctx context.Context) error {
+	req := RegisterRequest{ID: w.cfg.ID, URL: w.cfg.AdvertiseURL, Capacity: w.cfg.Capacity}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	for {
+		resp, err := w.client.Post(w.cfg.CoordinatorURL+"/cluster/v1/register", "application/json", bytes.NewReader(body))
+		if err == nil {
+			var rr RegisterResponse
+			decErr := json.NewDecoder(resp.Body).Decode(&rr)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("cluster: register %s: coordinator answered %d", w.cfg.ID, resp.StatusCode)
+			}
+			if decErr != nil {
+				return fmt.Errorf("cluster: register %s: bad response: %w", w.cfg.ID, decErr)
+			}
+			if rr.HeartbeatEveryMs > 0 {
+				w.mu.Lock()
+				w.heartbeatEvery = time.Duration(rr.HeartbeatEveryMs) * time.Millisecond
+				w.mu.Unlock()
+			}
+			w.log.Info("registered", "coordinator", w.cfg.CoordinatorURL, "capacity", w.cfg.Capacity)
+			return nil
+		}
+		w.log.Warn("coordinator unreachable, retrying registration", "err", err)
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-w.ctx.Done():
+			return w.ctx.Err()
+		}
+	}
+}
+
+// heartbeatLoop keeps the registration alive; a 404 (coordinator restarted
+// and lost the membership) triggers re-registration.
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	for {
+		w.mu.Lock()
+		every := w.heartbeatEvery
+		w.mu.Unlock()
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-time.After(every):
+		}
+		hb, err := json.Marshal(HeartbeatRequest{ID: w.cfg.ID, Inflight: int(w.inflight.Load())})
+		if err != nil {
+			continue
+		}
+		resp, err := w.client.Post(w.cfg.CoordinatorURL+"/cluster/v1/heartbeat", "application/json", bytes.NewReader(hb))
+		if err != nil {
+			w.log.Warn("heartbeat failed", "err", err)
+			continue
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusNotFound {
+			w.log.Info("coordinator forgot this worker, re-registering")
+			if err := w.register(w.ctx); err != nil {
+				w.log.Warn("re-registration failed", "err", err)
+			}
+		}
+	}
+}
+
+// handleAssign accepts one leased cell, ACKs immediately and executes it in
+// the background, streaming the result back to the coordinator's complete
+// endpoint.
+func (w *Worker) handleAssign(rw http.ResponseWriter, r *http.Request) {
+	if w.killed.Load() {
+		httpError(rw, http.StatusServiceUnavailable, "worker %s is shutting down", w.cfg.ID)
+		return
+	}
+	var req AssignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(rw, http.StatusBadRequest, "bad assignment: %v", err)
+		return
+	}
+	// The coordinator bounds inflight through its slot accounting; this is
+	// the worker's own backstop (a refused assignment expires the lease and
+	// reassigns, it does not lose the cell).
+	if n := w.inflight.Add(1); n > int64(w.cfg.Capacity) {
+		w.inflight.Add(-1)
+		httpError(rw, http.StatusTooManyRequests, "worker %s at capacity (%d inflight)", w.cfg.ID, w.cfg.Capacity)
+		return
+	}
+	w.wg.Add(1)
+	go w.run(req)
+	rw.WriteHeader(http.StatusAccepted)
+}
+
+// run executes one assignment and posts its completion.
+func (w *Worker) run(req AssignRequest) {
+	defer w.wg.Done()
+	row, err := w.exec(w.ctx, req.Spec, req.Cell, req.WarmAgent)
+	comp := CompleteRequest{Worker: w.cfg.ID, Job: req.Job, Cell: req.Cell, LeaseID: req.LeaseID}
+	if err != nil {
+		w.failed.Add(1)
+		comp.Err = err.Error()
+	} else {
+		w.executed.Add(1)
+		comp.Row = row
+	}
+	// Free the slot before posting the result: the coordinator releases its
+	// side of the slot the moment the completion lands and may assign the
+	// next cell immediately — decrementing after the post would bounce that
+	// assignment off the capacity backstop.
+	w.inflight.Add(-1)
+	if w.killed.Load() {
+		return // crashed: the result dies with the node
+	}
+	w.complete(comp)
+}
+
+// complete streams one result to the coordinator, retrying briefly — the
+// lease TTL gives headroom, and an undeliverable result is safe to drop (the
+// lease expires and the cell is reassigned).
+func (w *Worker) complete(comp CompleteRequest) {
+	body, err := json.Marshal(comp)
+	if err != nil {
+		w.log.Error("completion not marshalable", "job", comp.Job, "cell", comp.Cell, "err", err)
+		return
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		resp, err := w.client.Post(w.cfg.CoordinatorURL+"/cluster/v1/complete", "application/json", bytes.NewReader(body))
+		if err == nil {
+			var cr CompleteResponse
+			json.NewDecoder(resp.Body).Decode(&cr) //nolint:errcheck // best-effort diagnostics
+			resp.Body.Close()
+			if cr.Duplicate {
+				w.log.Info("result was stale (lease reassigned)", "job", comp.Job, "cell", comp.Cell)
+			}
+			return
+		}
+		w.log.Warn("completion undeliverable, retrying", "job", comp.Job, "cell", comp.Cell, "attempt", attempt, "err", err)
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-w.ctx.Done():
+			return
+		}
+	}
+	w.log.Error("completion dropped after retries; lease will expire and reassign", "job", comp.Job, "cell", comp.Cell)
+}
+
+// ExecuteCell is the default executor: rebuild the job's deterministic cell
+// plan from its spec and run one cell. Cells are explicitly seeded, so the
+// row is bit-identical to what the coordinator would compute in standalone
+// mode; the JSON round trip is exact (Go encodes float64 in shortest form).
+func ExecuteCell(ctx context.Context, spec service.Spec, cell int, warmAgent json.RawMessage) (json.RawMessage, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := spec.Config()
+	if len(warmAgent) > 0 {
+		sa, err := rl.DecodeAgent(bytes.NewReader(warmAgent))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bad warm-start agent payload: %w", err)
+		}
+		cfg.WarmStart = sa.WarmTable()
+	}
+	cells, _, err := experiments.Cells(cfg, spec.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	if cell < 0 || cell >= len(cells) {
+		return nil, fmt.Errorf("cluster: cell %d out of range (plan has %d)", cell, len(cells))
+	}
+	row, err := runCellRecover(ctx, cells[cell])
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.Marshal(row)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: cell %d row not marshalable: %w", cell, err)
+	}
+	return out, nil
+}
+
+// runCellRecover converts a panicking cell into an error, so one bad cell
+// cannot take the worker node down.
+func runCellRecover(ctx context.Context, cell experiments.Cell) (row any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			row, err = nil, fmt.Errorf("cluster: cell %s panicked: %v", cell.Key, r)
+		}
+	}()
+	return cell.Run(ctx)
+}

@@ -34,10 +34,12 @@ type Record struct {
 	TotalCells  int             `json:"total_cells,omitempty"`
 	SubmittedAt time.Time       `json:"submitted_at,omitzero"`
 
-	// Cell fields. Cell is the index into the campaign's cell plan.
-	Cell int             `json:"cell,omitempty"`
-	Row  json.RawMessage `json:"row,omitempty"`
-	Err  string          `json:"err,omitempty"`
+	// Cell fields. Cell is the index into the campaign's cell plan; Worker
+	// names the cluster node that executed it ("" for in-process runs).
+	Cell   int             `json:"cell,omitempty"`
+	Row    json.RawMessage `json:"row,omitempty"`
+	Err    string          `json:"err,omitempty"`
+	Worker string          `json:"worker,omitempty"`
 
 	// Finish fields.
 	State      string    `json:"state,omitempty"`
@@ -47,10 +49,12 @@ type Record struct {
 	WallClockS float64   `json:"wall_clock_s,omitempty"`
 }
 
-// CellState is the journaled outcome of one cell.
+// CellState is the journaled outcome of one cell. Worker records which
+// cluster node committed it ("" for in-process execution).
 type CellState struct {
-	Row json.RawMessage `json:"row,omitempty"`
-	Err string          `json:"err,omitempty"`
+	Row    json.RawMessage `json:"row,omitempty"`
+	Err    string          `json:"err,omitempty"`
+	Worker string          `json:"worker,omitempty"`
 }
 
 // JobState is the journal's materialized view of one job: everything needed
@@ -76,6 +80,19 @@ type JobState struct {
 
 	// Cells holds the committed per-cell outcomes, keyed by cell index.
 	Cells map[int]CellState `json:"cells,omitempty"`
+}
+
+// UncommittedCells lists the cell indices with no committed outcome, in
+// ascending order — exactly the set a resume (or a cluster reassignment
+// after a coordinator restart) must re-feed to the workers.
+func (js *JobState) UncommittedCells() []int {
+	out := make([]int, 0, js.TotalCells)
+	for i := 0; i < js.TotalCells; i++ {
+		if _, ok := js.Cells[i]; !ok {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // Terminal reports whether the job reached a terminal state before the
@@ -119,7 +136,7 @@ func (s *State) Apply(rec Record) {
 		if js.Cells == nil {
 			js.Cells = make(map[int]CellState)
 		}
-		js.Cells[rec.Cell] = CellState{Row: rec.Row, Err: rec.Err}
+		js.Cells[rec.Cell] = CellState{Row: rec.Row, Err: rec.Err, Worker: rec.Worker}
 	case KindFinish:
 		js, ok := s.Jobs[rec.Job]
 		if !ok {
@@ -149,7 +166,7 @@ func (s *State) Clone() *State {
 		if js.Cells != nil {
 			cp.Cells = make(map[int]CellState, len(js.Cells))
 			for i, c := range js.Cells {
-				cp.Cells[i] = CellState{Row: append(json.RawMessage(nil), c.Row...), Err: c.Err}
+				cp.Cells[i] = CellState{Row: append(json.RawMessage(nil), c.Row...), Err: c.Err, Worker: c.Worker}
 			}
 		}
 		out.Jobs[id] = &cp

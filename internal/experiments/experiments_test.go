@@ -354,6 +354,31 @@ func TestManycoreShapes(t *testing.T) {
 	}
 }
 
+// TestManycoreMappingsDegenerateGrids is the regression test for the
+// half-chip template dividing by zero on a 1-core grid: every template must
+// stay well-defined (slots within [0, cores)) down to a single core.
+func TestManycoreMappingsDegenerateGrids(t *testing.T) {
+	for _, cores := range []int{1, 2, 3, 4, 16} {
+		maps := manycoreMappings(cores, 6)
+		if len(maps) != 3 {
+			t.Fatalf("cores=%d: got %d templates, want 3", cores, len(maps))
+		}
+		for _, m := range maps {
+			for i, slot := range m.Slots {
+				if slot < 0 || slot >= cores {
+					t.Errorf("cores=%d mapping %q slot[%d]=%d out of range", cores, m.Name, i, slot)
+				}
+			}
+		}
+	}
+	// The 1-core half-chip template must fall back to pinning core 0.
+	for i, slot := range manycoreMappings(1, 4)[2].Slots {
+		if slot != 0 {
+			t.Errorf("1-core half-chip slot[%d]=%d, want 0", i, slot)
+		}
+	}
+}
+
 func TestRunRowsMatchesNames(t *testing.T) {
 	cfg := quickCfg()
 	for _, id := range ExperimentNames() {

@@ -42,7 +42,14 @@ func manycoreMappings(cores, threads int) []core.Mapping {
 	half := make([]int, threads)
 	for i := range spread {
 		spread[i] = i % cores
-		half[i] = i % (cores / 2)
+		if cores < 2 {
+			// A single-core grid has no half chip to pack into; pinning
+			// everything to core 0 keeps the template well-defined instead
+			// of dividing by zero.
+			half[i] = 0
+		} else {
+			half[i] = i % (cores / 2)
+		}
 	}
 	return []core.Mapping{
 		{Name: "os-default"},

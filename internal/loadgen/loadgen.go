@@ -1,0 +1,191 @@
+// Package loadgen is an open-loop job submitter for thermserved: it fires
+// POST /v1/jobs at a fixed rate regardless of how fast the server answers,
+// which is the arrival process that actually exercises admission control.
+// A closed loop (wait for each response before sending the next) can never
+// saturate the queue, so it would never observe a 429.
+//
+// The engine is a library so tests can drive a real cluster to saturation
+// in-process; cmd/thermload is the thin CLI over it.
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options configures one open-loop run.
+type Options struct {
+	URL      string        // base URL of the target thermserved, e.g. http://127.0.0.1:8080
+	Rate     float64       // submissions per second
+	Duration time.Duration // how long to keep submitting
+	Payload  string        // JSON body for POST /v1/jobs
+	Client   *http.Client  // nil = http.DefaultClient
+}
+
+// Result aggregates one run: every submission is counted exactly once as
+// accepted, rejected (HTTP 429) or failed (transport error or any other
+// status).
+type Result struct {
+	Sent, Accepted, Rejected, Failed int
+	AcceptedIDs                      []string        // job ids of accepted submissions
+	Latencies                        []time.Duration // response latency of every completed request
+	MaxRetryAfter                    time.Duration   // largest Retry-After the server asked for
+	Errors                           []string        // first few transport/status errors, for the summary
+}
+
+// Run executes the open-loop schedule and blocks until every in-flight
+// request has been answered. ctx cancels early.
+func Run(ctx context.Context, opts Options) (Result, error) {
+	if opts.Rate <= 0 {
+		return Result{}, fmt.Errorf("loadgen: rate must be positive, got %v", opts.Rate)
+	}
+	if opts.URL == "" {
+		return Result{}, fmt.Errorf("loadgen: target URL required")
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	interval := time.Duration(float64(time.Second) / opts.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+
+	var (
+		mu  sync.Mutex
+		res Result
+		wg  sync.WaitGroup
+	)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	stop := time.After(opts.Duration)
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-stop:
+			break loop
+		case <-tick.C:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				id, status, retryAfter, latency, err := submit(ctx, client, opts.URL, opts.Payload)
+				mu.Lock()
+				defer mu.Unlock()
+				res.Sent++
+				res.Latencies = append(res.Latencies, latency)
+				switch {
+				case err != nil:
+					res.Failed++
+					if len(res.Errors) < 5 {
+						res.Errors = append(res.Errors, err.Error())
+					}
+				case status == http.StatusTooManyRequests:
+					res.Rejected++
+					if retryAfter > res.MaxRetryAfter {
+						res.MaxRetryAfter = retryAfter
+					}
+				case status/100 == 2:
+					res.Accepted++
+					res.AcceptedIDs = append(res.AcceptedIDs, id)
+				default:
+					res.Failed++
+					if len(res.Errors) < 5 {
+						res.Errors = append(res.Errors, fmt.Sprintf("unexpected status %d", status))
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	return res, nil
+}
+
+// submit posts one job and extracts its id on acceptance.
+func submit(ctx context.Context, client *http.Client, base, payload string) (id string, status int, retryAfter time.Duration, latency time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", strings.NewReader(payload))
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	latency = time.Since(start)
+	if err != nil {
+		return "", 0, 0, latency, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if resp.StatusCode/100 == 2 {
+		id = extractID(body)
+		if id == "" {
+			return "", resp.StatusCode, retryAfter, latency, fmt.Errorf("accepted response carried no job id: %.120s", body)
+		}
+	}
+	return id, resp.StatusCode, retryAfter, latency, nil
+}
+
+// extractID pulls the job id out of the submit response.
+func extractID(body []byte) string {
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &job); err != nil {
+		return ""
+	}
+	return job.ID
+}
+
+// Percentile returns the p-th latency percentile (0 < p <= 100) of the run,
+// or 0 when nothing completed.
+func (r Result) Percentile(p float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(float64(len(sorted))*p/100) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Summary renders the run for a terminal.
+func (r Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sent %d: accepted %d, rejected(429) %d, failed %d\n",
+		r.Sent, r.Accepted, r.Rejected, r.Failed)
+	if len(r.Latencies) > 0 {
+		fmt.Fprintf(&b, "latency p50 %s  p95 %s  p99 %s  max %s\n",
+			r.Percentile(50).Round(time.Microsecond),
+			r.Percentile(95).Round(time.Microsecond),
+			r.Percentile(99).Round(time.Microsecond),
+			r.Percentile(100).Round(time.Microsecond))
+	}
+	if r.Rejected > 0 {
+		fmt.Fprintf(&b, "max Retry-After %s\n", r.MaxRetryAfter)
+	}
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "error: %s\n", e)
+	}
+	return b.String()
+}

@@ -16,6 +16,8 @@ func (p *Pool) registerMetrics() {
 	reg := p.reg
 	reg.CounterFunc("thermserved_jobs_submitted_total", "Accepted job submissions.",
 		func() float64 { return float64(p.JobsSubmitted()) })
+	reg.CounterFunc("thermserved_jobs_rejected_total", "Submissions refused by queue-depth admission control (HTTP 429).",
+		func() float64 { return float64(p.JobsRejected()) })
 	reg.CounterFunc("thermserved_cells_completed_total", "Cells executed successfully.",
 		func() float64 { return float64(p.CellsCompleted()) })
 	reg.CounterFunc("thermserved_cells_failed_total", "Cells that returned an error.",

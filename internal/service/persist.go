@@ -208,6 +208,7 @@ func (p *Pool) resume(job Job, rows []any, errs []error) {
 	p.store.BindCancel(job.ID, jcancel)
 	jr := &jobRun{
 		id:          job.ID,
+		spec:        job.Spec,
 		ctx:         jctx,
 		cancel:      jcancel,
 		assemble:    assemble,

@@ -21,6 +21,14 @@ import (
 // panic recovery and cancellation without running the simulator.
 type Planner func(cfg experiments.Config, id string) ([]experiments.Cell, experiments.Assemble, error)
 
+// CellRunner executes one planned cell of a job and reports which node ran
+// it ("" for the local process). The default runs the cell in-process; a
+// cluster coordinator swaps in a runner that leases the cell out to a remote
+// worker and blocks until the result streams back (or the lease expires and
+// the cell is reassigned). The returned row must be the cell's typed row —
+// bit-identical to what cell.Run would produce locally.
+type CellRunner func(ctx context.Context, job string, spec Spec, idx int, cell experiments.Cell) (row any, ranBy string, err error)
+
 // Pool executes job cells on a bounded set of workers. Cells from all jobs
 // share one queue, so a wide campaign fans out across every worker while
 // several narrow ones interleave fairly.
@@ -28,6 +36,13 @@ type Pool struct {
 	store   *Store
 	workers int
 	plan    Planner
+	// runner executes one cell; defaults to in-process execution. A cluster
+	// coordinator replaces it with remote dispatch (SetCellRunner).
+	runner CellRunner
+	// maxQueuedCells, when positive, is the admission limit: a submission
+	// arriving while at least this many cells are queued is rejected with
+	// an OverloadedError (the HTTP layer maps it to 429 + Retry-After).
+	maxQueuedCells int64
 
 	// tasks is an unbuffered handoff: a cell is either held by its job's
 	// feeder or being executed by a worker, never parked in a buffer where
@@ -42,6 +57,7 @@ type Pool struct {
 	cellsDone     atomic.Int64
 	cellsFailed   atomic.Int64
 	jobsSubmitted atomic.Int64
+	jobsRejected  atomic.Int64
 	// queued counts cells accepted but not yet picked up by a worker.
 	queued atomic.Int64
 
@@ -72,6 +88,7 @@ type Pool struct {
 // jobRun is the pool-side state shared by one job's cells.
 type jobRun struct {
 	id       string
+	spec     Spec
 	ctx      context.Context
 	cancel   context.CancelFunc
 	assemble experiments.Assemble
@@ -117,9 +134,27 @@ func NewPool(store *Store, workers int) *Pool {
 		reg:     telemetry.NewRegistry(),
 		log:     telemetry.Component("pool"),
 	}
+	p.runner = func(ctx context.Context, _ string, _ Spec, _ int, cell experiments.Cell) (any, string, error) {
+		row, err := runCell(ctx, cell)
+		return row, "", err
+	}
 	p.registerMetrics()
 	return p
 }
+
+// SetCellRunner replaces in-process cell execution (e.g. with a cluster
+// coordinator's remote dispatch). Set before Start.
+func (p *Pool) SetCellRunner(r CellRunner) { p.runner = r }
+
+// SetPlanner replaces the campaign planner (tests use synthetic plans; the
+// cluster harness uses it to exercise dispatch without the simulator). Set
+// before Start.
+func (p *Pool) SetPlanner(pl Planner) { p.plan = pl }
+
+// SetMaxQueuedCells installs the admission limit: submissions arriving while
+// at least n cells are queued fail with an OverloadedError. n <= 0 disables
+// admission control (the default). Set before serving traffic.
+func (p *Pool) SetMaxQueuedCells(n int) { p.maxQueuedCells = int64(n) }
 
 // Registry returns the pool-owned metrics registry (job, cell and worker
 // metrics; the HTTP layer adds its request metrics to the same registry).
@@ -149,6 +184,9 @@ func (p *Pool) Submit(spec Spec) (Job, error) {
 	if err := spec.Validate(); err != nil {
 		return Job{}, err
 	}
+	if err := p.admit(); err != nil {
+		return Job{}, err
+	}
 	cfg := spec.Config()
 	if err := p.applyWarmStart(&cfg, spec.WarmStart); err != nil {
 		return Job{}, err
@@ -169,6 +207,7 @@ func (p *Pool) Submit(spec Spec) (Job, error) {
 	p.store.BindCancel(job.ID, jcancel)
 	jr := &jobRun{
 		id:          job.ID,
+		spec:        spec,
 		ctx:         jctx,
 		cancel:      jcancel,
 		assemble:    assemble,
@@ -230,7 +269,7 @@ func (p *Pool) feed(jr *jobRun, tasks []task) {
 			// queue-depth gauge as it is accounted.
 			for _, rest := range tasks[i:] {
 				p.queued.Add(-1)
-				p.finishCell(jr, rest.idx, nil, jr.ctx.Err(), true)
+				p.finishCell(jr, rest.idx, nil, "", jr.ctx.Err(), true)
 			}
 			return
 		case p.tasks <- t:
@@ -261,7 +300,7 @@ func (p *Pool) runTask(t task) {
 		_ = p.store.Start(t.jr.id)
 	})
 	if err := t.jr.ctx.Err(); err != nil {
-		p.finishCell(t.jr, t.idx, nil, err, true)
+		p.finishCell(t.jr, t.idx, nil, "", err, true)
 		return
 	}
 	p.busy.Add(1)
@@ -269,14 +308,17 @@ func (p *Pool) runTask(t task) {
 	cellSpan := t.jr.tracer.Start(t.jr.jobSpan, telemetry.KindCell, t.cell.Key)
 	ctx := telemetry.ContextWithSpan(t.jr.ctx, t.jr.tracer, cellSpan)
 	var row any
+	var ranBy string
 	var err error
 	// Label the worker goroutine for the duration of the cell, so CPU and
 	// goroutine profiles attribute samples to (job, cell).
 	pprof.Do(ctx, pprof.Labels("job", t.jr.id, "cell", t.cell.Key), func(ctx context.Context) {
-		row, err = runCell(ctx, t.cell)
+		row, ranBy, err = p.runner(ctx, t.jr.id, t.jr.spec, t.idx, t.cell)
 	})
 	if err != nil {
 		t.jr.tracer.End(cellSpan, telemetry.Str("error", err.Error()))
+	} else if ranBy != "" {
+		t.jr.tracer.End(cellSpan, telemetry.Str("worker", ranBy))
 	} else {
 		t.jr.tracer.End(cellSpan)
 	}
@@ -288,7 +330,7 @@ func (p *Pool) runTask(t task) {
 	if err != nil && !skipped {
 		p.log.Warn("cell failed", "cell", t.cell.Key, "job", t.jr.id, "err", err)
 	}
-	p.finishCell(t.jr, t.idx, row, err, skipped)
+	p.finishCell(t.jr, t.idx, row, ranBy, err, skipped)
 }
 
 // runCell invokes the cell, converting a panic into an error so one bad
@@ -307,8 +349,9 @@ func runCell(ctx context.Context, cell experiments.Cell) (row any, err error) {
 }
 
 // finishCell records one cell's outcome and finalizes the job when it was
-// the last one outstanding.
-func (p *Pool) finishCell(jr *jobRun, idx int, row any, err error, skipped bool) {
+// the last one outstanding. ranBy attributes the committed outcome to the
+// cluster worker that executed it ("" in-process).
+func (p *Pool) finishCell(jr *jobRun, idx int, row any, ranBy string, err error, skipped bool) {
 	jr.mu.Lock()
 	if err == nil && !skipped {
 		jr.rows[idx] = row
@@ -322,7 +365,7 @@ func (p *Pool) finishCell(jr *jobRun, idx int, row any, err error, skipped bool)
 	if !skipped {
 		// Journal the outcome before crediting progress, so every cell a
 		// client ever saw counted is recoverable after a crash.
-		p.store.CellDone(jr.id, idx, row, err)
+		p.store.CellDone(jr.id, idx, row, err, ranBy)
 		if err == nil {
 			p.cellsDone.Add(1)
 			p.store.AddProgress(jr.id, 1, 0)
@@ -353,6 +396,42 @@ func (p *Pool) finalize(jr *jobRun) {
 	p.archiveTrace(jr)
 }
 
+// OverloadedError is returned by Submit when the queued-cell depth has
+// reached the admission limit. The HTTP layer maps it to 429 with a
+// Retry-After hint, so open-loop clients back off instead of deepening the
+// queue; everything already accepted keeps running.
+type OverloadedError struct {
+	// Queued and Limit are the queue depth observed at rejection and the
+	// configured admission limit.
+	Queued, Limit int
+	// RetryAfter is the suggested client backoff.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("service: overloaded: %d cells queued (admission limit %d), retry in %s",
+		e.Queued, e.Limit, e.RetryAfter)
+}
+
+// admit applies queue-depth admission control. The Retry-After hint scales
+// with how many queue "turns" of the configured concurrency stand between
+// the caller and a free slot, clamped to [1s, 30s].
+func (p *Pool) admit() error {
+	if p.maxQueuedCells <= 0 {
+		return nil
+	}
+	q := p.queued.Load()
+	if q < p.maxQueuedCells {
+		return nil
+	}
+	p.jobsRejected.Add(1)
+	retry := time.Duration(1+q/int64(p.workers)) * time.Second
+	if retry > 30*time.Second {
+		retry = 30 * time.Second
+	}
+	return &OverloadedError{Queued: int(q), Limit: int(p.maxQueuedCells), RetryAfter: retry}
+}
+
 // Workers is the configured worker count.
 func (p *Pool) Workers() int { return p.workers }
 
@@ -367,3 +446,10 @@ func (p *Pool) CellsFailed() int64 { return p.cellsFailed.Load() }
 
 // JobsSubmitted is the lifetime count of accepted submissions.
 func (p *Pool) JobsSubmitted() int64 { return p.jobsSubmitted.Load() }
+
+// JobsRejected is the lifetime count of submissions refused by admission
+// control.
+func (p *Pool) JobsRejected() int64 { return p.jobsRejected.Load() }
+
+// QueuedCells is the number of cells accepted but not yet picked up.
+func (p *Pool) QueuedCells() int64 { return p.queued.Load() }

@@ -152,6 +152,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.pool.Submit(spec)
 	if err != nil {
+		// Admission-control rejections are backpressure, not client errors:
+		// 429 plus a Retry-After hint, so open-loop submitters can pace
+		// themselves against the queue instead of piling onto it.
+		var over *OverloadedError
+		if errors.As(err, &over) {
+			w.Header().Set("Retry-After", strconv.Itoa(int((over.RetryAfter+time.Second-1)/time.Second)))
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

@@ -297,14 +297,16 @@ func (s *Store) AddProgress(id string, done, failed int) {
 
 // CellDone journals one cell's committed outcome (row or error), so a
 // restart resumes the job without re-running it. The in-memory row stays
-// with the pool; only the durable copy passes through the store.
-func (s *Store) CellDone(id string, idx int, row any, cellErr error) {
+// with the pool; only the durable copy passes through the store. worker
+// attributes the outcome to the cluster node that executed the cell (""
+// for in-process execution), so the journal doubles as a dispatch audit.
+func (s *Store) CellDone(id string, idx int, row any, cellErr error, worker string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.jobs[id]; !ok {
 		return
 	}
-	rec := durable.Record{Kind: durable.KindCell, Job: id, Cell: idx}
+	rec := durable.Record{Kind: durable.KindCell, Job: id, Cell: idx, Worker: worker}
 	if cellErr != nil {
 		rec.Err = cellErr.Error()
 	} else {
