@@ -9,7 +9,7 @@
 //	            [-flight-dir DIR] [-temp-ceiling C] [-stall-deadline 5m]
 //	            [-log-level info] [-debug-addr :6060]
 //	            [-max-queue-cells N] [-lease-ttl 10m] [-heartbeat-every 2s]
-//	            [-join URL] [-advertise URL] [-capacity N]
+//	            [-join URL] [-advertise URL] [-capacity N] [-cluster-secret S]
 //
 // Endpoints:
 //
@@ -60,11 +60,18 @@
 //   - coordinator: same public API and durability, but cells are sharded
 //     across registered workers by consistent hashing, under time-bounded
 //     leases, with /cluster/v1/* mounted for worker traffic. -lease-ttl and
-//     -heartbeat-every tune failure detection.
+//     -heartbeat-every tune failure detection. -workers here sizes the
+//     dispatch width (cluster-wide in-flight cell cap), not local execution;
+//     0 defaults to a generous 256 rather than NumCPU.
 //   - worker: no public job API; the node registers with the coordinator at
 //     -join, advertises itself at -advertise (default http://127.0.0.1<addr>
 //     when -addr has no host), heartbeats, and executes up to -capacity
 //     assigned cells concurrently.
+//
+// -cluster-secret, when set on the coordinator and every worker, gates all
+// /cluster/v1/* routes (both directions) behind a shared bearer token, so a
+// coordinator reachable from untrusted networks cannot be fed bogus worker
+// registrations.
 //
 // -max-queue-cells bounds the standalone/coordinator admission queue: while
 // more cells than that are queued or running, POST /v1/jobs returns 429 with
@@ -94,7 +101,7 @@ import (
 func main() {
 	role := flag.String("role", "standalone", "node role: standalone, coordinator or worker")
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "worker count (0 = number of CPUs)")
+	workers := flag.Int("workers", 0, "pool worker count (0 = number of CPUs; in -role=coordinator, 0 = 256 dispatchers)")
 	ttl := flag.Duration("ttl", service.DefaultTTL, "how long finished jobs stay queryable")
 	dataDir := flag.String("data-dir", "", "directory for the durable job journal and checkpoints (empty = in-memory only)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -106,11 +113,12 @@ func main() {
 	maxQueueCells := flag.Int("max-queue-cells", 0, "admission limit: queued+running cells above which POST /v1/jobs returns 429 (0 = unlimited)")
 	leaseTTL := flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "coordinator: how long a worker holds a cell before it is reassigned")
 	heartbeatEvery := flag.Duration("heartbeat-every", cluster.DefaultHeartbeatEvery, "coordinator: worker heartbeat period (a worker silent for 5x this is declared dead)")
+	clusterSecret := flag.String("cluster-secret", "", "shared secret gating /cluster/v1/* (set on coordinator and every worker; empty = no auth)")
 	join := flag.String("join", "", "worker: coordinator base URL to register with")
 	advertise := flag.String("advertise", "", "worker: URL the coordinator reaches this node at (default http://127.0.0.1<addr> when -addr has no host)")
 	capacity := flag.Int("capacity", 0, "worker: max concurrently assigned cells (0 = number of CPUs)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-role standalone|coordinator|worker] [-addr :8080] [-workers N] [-ttl 1h] [-data-dir DIR] [-flight-dir DIR] [-temp-ceiling C] [-stall-deadline 5m] [-log-level info] [-debug-addr :6060] [-max-queue-cells N] [-lease-ttl 10m] [-heartbeat-every 2s] [-join URL] [-advertise URL] [-capacity N]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-role standalone|coordinator|worker] [-addr :8080] [-workers N] [-ttl 1h] [-data-dir DIR] [-flight-dir DIR] [-temp-ceiling C] [-stall-deadline 5m] [-log-level info] [-debug-addr :6060] [-max-queue-cells N] [-lease-ttl 10m] [-heartbeat-every 2s] [-join URL] [-advertise URL] [-capacity N] [-cluster-secret S]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -129,21 +137,31 @@ func main() {
 	switch *role {
 	case "standalone", "coordinator":
 	case "worker":
-		runWorker(ctx, log, *addr, *join, *advertise, *capacity)
+		runWorker(ctx, log, *addr, *join, *advertise, *clusterSecret, *capacity)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "thermserved: unknown -role %q (want standalone, coordinator or worker)\n", *role)
 		os.Exit(2)
 	}
 
+	poolWorkers := *workers
+	if *role == "coordinator" && poolWorkers <= 0 {
+		// A coordinator pool worker is a dispatcher parked in RunCell while
+		// its cell executes remotely, so the pool size caps cluster-wide
+		// in-flight cells. Defaulting it to NumCPU would throttle the whole
+		// fleet to this one machine's core count; default to a width sized
+		// for many workers' aggregate capacity instead. -workers still
+		// overrides.
+		poolWorkers = cluster.DefaultDispatchWidth
+	}
 	store := service.NewStore(*ttl)
-	pool := service.NewPool(store, *workers)
+	pool := service.NewPool(store, poolWorkers)
 	if *maxQueueCells > 0 {
 		pool.SetMaxQueuedCells(*maxQueueCells)
 	}
 	var coord *cluster.Coordinator
 	if *role == "coordinator" {
-		coord = cluster.NewCoordinator(pool, cluster.Config{LeaseTTL: *leaseTTL, HeartbeatEvery: *heartbeatEvery})
+		coord = cluster.NewCoordinator(pool, cluster.Config{LeaseTTL: *leaseTTL, HeartbeatEvery: *heartbeatEvery, Secret: *clusterSecret})
 	}
 
 	// Arm the flight recorder before any job can run — including the ones the
@@ -285,7 +303,7 @@ func main() {
 // runWorker is the -role=worker main loop: serve /cluster/v1/assign plus
 // /healthz and /metrics on addr, register with the coordinator at join, and
 // heartbeat until the process is signalled.
-func runWorker(ctx context.Context, log *slog.Logger, addr, join, advertise string, capacity int) {
+func runWorker(ctx context.Context, log *slog.Logger, addr, join, advertise, secret string, capacity int) {
 	if join == "" {
 		fmt.Fprintln(os.Stderr, "thermserved: -role=worker requires -join <coordinator URL>")
 		os.Exit(2)
@@ -309,6 +327,7 @@ func runWorker(ctx context.Context, log *slog.Logger, addr, join, advertise stri
 		CoordinatorURL: join,
 		AdvertiseURL:   advertise,
 		Capacity:       capacity,
+		Secret:         secret,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "thermserved:", err)

@@ -45,6 +45,13 @@ const (
 	// DefaultRingReplicas is the virtual-node count per worker on the hash
 	// ring; enough that three workers land within a few percent of even.
 	DefaultRingReplicas = 128
+	// DefaultDispatchWidth is the coordinator's default pool size: each pool
+	// worker goroutine spends its life blocked in RunCell while the cell
+	// executes remotely, so the pool bounds cluster-wide in-flight cells and
+	// must be sized to the fleet's aggregate capacity, not the coordinator's
+	// own CPU count. Dispatchers are cheap (a goroutine parked on a lease
+	// channel), so the default is generous.
+	DefaultDispatchWidth = 256
 )
 
 // Config parameterizes a Coordinator. The zero value selects every default.
@@ -60,6 +67,13 @@ type Config struct {
 	// RingReplicas is the virtual-node count per worker; 0 selects
 	// DefaultRingReplicas.
 	RingReplicas int
+	// Secret, when non-empty, gates every /cluster/v1/* route behind a
+	// shared bearer token and attaches it to outgoing assignments, so a
+	// coordinator reachable from untrusted networks cannot be fed bogus
+	// worker registrations (which would black-hole leased cells until TTL
+	// expiry). Empty disables authentication; workers must be configured
+	// with the same value.
+	Secret string
 	// Client performs coordinator → worker assignment requests; nil selects
 	// a client with a short dial-oriented timeout (the assignment ACK is
 	// immediate; results stream back on a separate connection).

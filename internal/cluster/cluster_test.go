@@ -100,6 +100,67 @@ func TestClusterJournalsWorkerAttribution(t *testing.T) {
 	}
 }
 
+// TestClusterSecret checks the shared-secret gate on the cluster surface:
+// unauthenticated register and assign requests bounce with 401 (so an open
+// network cannot feed the coordinator bogus workers that would black-hole
+// leases), while nodes configured with the secret interoperate end to end.
+func TestClusterSecret(t *testing.T) {
+	cfg := testClusterConfig()
+	cfg.Secret = "open-sesame"
+	const cells = 6
+	tc := startTestCluster(t, cfg, func(_ *service.Store, p *service.Pool) {
+		p.SetPlanner(stubPlanner(cells, 0))
+	})
+
+	// A register without the token must not join the membership.
+	body, err := json.Marshal(RegisterRequest{ID: "rogue", URL: "http://127.0.0.1:1", Capacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := postJSON(tc.coordSrv.Client(), "", tc.coordSrv.URL+"/cluster/v1/register", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 401 {
+		t.Fatalf("unauthenticated register answered %d, want 401", resp.StatusCode)
+	}
+	if n := tc.coord.Membership().Alive(); n != 0 {
+		t.Fatalf("rogue worker joined the membership (%d alive)", n)
+	}
+	// A wrong token is just as dead.
+	resp, err = postJSON(tc.coordSrv.Client(), "wrong-secret", tc.coordSrv.URL+"/cluster/v1/register", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 401 {
+		t.Fatalf("wrong-secret register answered %d, want 401", resp.StatusCode)
+	}
+
+	// Properly configured nodes complete a campaign as usual.
+	tc.addWorker(2, stubExecutor(0))
+	tc.addWorker(2, stubExecutor(0))
+	final := tc.submitAndWait(service.Spec{Experiment: "suite", Quick: true}, time.Minute)
+	if final.State != service.StateDone {
+		t.Fatalf("authenticated cluster job finished %s: %s", final.State, final.Error)
+	}
+
+	// The worker's assign route demands the same token.
+	assign, err := json.Marshal(AssignRequest{Job: "x", Cell: 0, LeaseID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = postJSON(tc.servers[0].Client(), "", tc.servers[0].URL+"/cluster/v1/assign", assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 401 {
+		t.Fatalf("unauthenticated assign answered %d, want 401", resp.StatusCode)
+	}
+}
+
 // TestClusterSuiteBitIdenticalWithKill is the acceptance criterion: a
 // 3-worker cluster runs the real quick suite campaign, one worker is killed
 // mid-job, the dead worker's leases are reassigned, and the aggregated rows

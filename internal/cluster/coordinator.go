@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -93,8 +92,9 @@ func (c *Coordinator) Membership() *Membership { return c.members }
 func (c *Coordinator) Leases() *Leases { return c.leases }
 
 // Handler serves the /cluster/v1/* routes; mount it on the same listener as
-// the public API.
-func (c *Coordinator) Handler() http.Handler { return c.mux }
+// the public API. With Config.Secret set, every route demands the shared
+// bearer token.
+func (c *Coordinator) Handler() http.Handler { return requireSecret(c.cfg.Secret, c.mux) }
 
 // Start launches the heartbeat-expiry sweeper.
 func (c *Coordinator) Start() {
@@ -218,7 +218,7 @@ func (c *Coordinator) deliverAssign(wid, wurl string, lease *Lease, req AssignRe
 		c.leases.Expire(lease)
 		return
 	}
-	resp, err := c.cfg.Client.Post(wurl+"/cluster/v1/assign", "application/json", bytes.NewReader(body))
+	resp, err := postJSON(c.cfg.Client, c.cfg.Secret, wurl+"/cluster/v1/assign", body)
 	if err != nil {
 		c.log.Warn("assignment undeliverable", "worker", wid, "job", req.Job, "cell", req.Cell, "err", err)
 		c.leases.Expire(lease)
@@ -238,9 +238,23 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad register request: %v", err)
 		return
 	}
-	if err := c.members.Register(req.ID, req.URL, req.Capacity); err != nil {
+	replaced, err := c.members.Register(req.ID, req.URL, req.Capacity)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if replaced {
+		// A re-registration means the previous incarnation's in-memory
+		// assignments are gone, but its leases may still be outstanding —
+		// and Register just reset the inflight count to zero, so leaving
+		// them active would oversubscribe the worker until they time out.
+		// Expire them now: the cells reassign immediately and each expiry's
+		// Release lands on the fresh (zero) count it belongs to.
+		if n := c.leases.ExpireWorker(req.ID); n > 0 {
+			c.leasesExpired.Add(int64(n))
+			c.log.Warn("worker re-registered with leases outstanding; reassigning",
+				"worker", req.ID, "leases", n)
+		}
 	}
 	c.log.Info("worker registered", "worker", req.ID, "url", req.URL, "capacity", req.Capacity)
 	httpJSON(w, http.StatusOK, RegisterResponse{

@@ -108,6 +108,91 @@ func TestLeaseExpiryReassignsAndDedupes(t *testing.T) {
 	}
 }
 
+// TestGracefulStopDrainsWithoutFailingCells checks that a rolling restart
+// (Worker.Stop, i.e. SIGTERM) never commits spurious cell failures: in-flight
+// cells finish with a live context and post real results, new assignments are
+// refused with 503 so their leases reassign, and the job completes clean.
+func TestGracefulStopDrainsWithoutFailingCells(t *testing.T) {
+	const cells = 8
+	spec := service.Spec{Experiment: "suite", Quick: true}
+	want := runStandalone(t, cells, spec)
+
+	tc := startTestCluster(t, testClusterConfig(), func(_ *service.Store, p *service.Pool) {
+		p.SetPlanner(stubPlanner(cells, 0))
+	})
+	stopper := tc.addWorker(2, stubExecutor(150*time.Millisecond))
+	tc.addWorker(2, stubExecutor(150*time.Millisecond))
+
+	job, err := tc.pool.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop the worker only once it genuinely has cells in flight, so the
+	// drain path (not just the refusal path) is exercised.
+	deadline := time.Now().Add(10 * time.Second)
+	for stopper.Inflight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stopping worker never received work")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stopper.Stop()
+
+	final := tc.wait(job.ID, time.Minute)
+	if final.State != service.StateDone {
+		t.Fatalf("job finished %s after graceful stop: %s", final.State, final.Error)
+	}
+	if final.Progress.FailedCells != 0 {
+		t.Fatalf("graceful stop committed %d cell failures, want 0", final.Progress.FailedCells)
+	}
+	rowsAny, _ := tc.store.Rows(final.ID)
+	rows := rowsAny.([]experiments.SuiteRow)
+	if len(rows) != len(want) {
+		t.Fatalf("job produced %d rows, want %d", len(rows), len(want))
+	}
+	for i := range rows {
+		if rows[i] != want[i] {
+			t.Errorf("row %d differs after graceful stop: got %+v want %+v", i, rows[i], want[i])
+		}
+	}
+}
+
+// TestReregisterExpiresPreviousLeases checks that a worker restarting under
+// the same id does not leave its previous incarnation's leases pinned: the
+// coordinator expires them at re-registration so the cells reassign
+// immediately and the fresh inflight count stays honest.
+func TestReregisterExpiresPreviousLeases(t *testing.T) {
+	tc := startTestCluster(t, testClusterConfig(), nil)
+
+	register := func() {
+		body, err := json.Marshal(RegisterRequest{ID: "w-restart", URL: "http://127.0.0.1:1", Capacity: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := postJSON(tc.coordSrv.Client(), "", tc.coordSrv.URL+"/cluster/v1/register", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("register answered %d", resp.StatusCode)
+		}
+	}
+	register()
+	l := tc.coord.Leases().Grant("job-1", 0, "w-restart", time.Minute)
+
+	// The worker "restarts" and registers again with in-flight leases.
+	register()
+	select {
+	case <-l.Expired():
+	case <-time.After(5 * time.Second):
+		t.Fatal("previous incarnation's lease still active after re-registration")
+	}
+	if n := tc.coord.Leases().Active(); n != 0 {
+		t.Fatalf("%d leases still active after re-registration, want 0", n)
+	}
+}
+
 // TestLeaseTableIdempotency exercises the lease table directly: only the
 // active (job, cell, lease id, worker) tuple may complete, everything else
 // is a duplicate.

@@ -31,6 +31,7 @@ type testCluster struct {
 	pool     *service.Pool
 	coord    *Coordinator
 	coordSrv *httptest.Server
+	secret   string
 	workers  []*Worker
 	servers  []*httptest.Server
 }
@@ -48,7 +49,7 @@ func startTestCluster(t testing.TB, cfg Config, mutate func(*service.Store, *ser
 	coordSrv := httptest.NewServer(coord.Handler())
 	coord.Start()
 	pool.Start()
-	tc := &testCluster{t: t, store: store, pool: pool, coord: coord, coordSrv: coordSrv}
+	tc := &testCluster{t: t, store: store, pool: pool, coord: coord, coordSrv: coordSrv, secret: cfg.Secret}
 	t.Cleanup(func() {
 		tc.pool.Stop()
 		tc.coord.Stop()
@@ -78,6 +79,7 @@ func (tc *testCluster) addWorker(capacity int, exec Executor) *Worker {
 		CoordinatorURL: tc.coordSrv.URL,
 		AdvertiseURL:   "http://" + l.Addr().String(),
 		Capacity:       capacity,
+		Secret:         tc.secret,
 	})
 	if err != nil {
 		tc.t.Fatal(err)

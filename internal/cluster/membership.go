@@ -53,12 +53,15 @@ func (m *Membership) broadcastLocked() {
 }
 
 // Register adds (or replaces) a worker. Capacity <= 0 is normalized to 1.
-// Re-registration resets the heartbeat clock but keeps the lifetime assigned
-// count when the id was already known, so imbalance accounting survives a
-// worker restart.
-func (m *Membership) Register(id, url string, capacity int) error {
+// Re-registration resets the heartbeat clock and the inflight count but
+// keeps the lifetime assigned count when the id was already known, so
+// imbalance accounting survives a worker restart. Replaced reports that an
+// entry for id already existed — the caller must then expire the previous
+// incarnation's leases, or the reset inflight count would let the
+// coordinator oversubscribe the node until those leases drain.
+func (m *Membership) Register(id, url string, capacity int) (replaced bool, err error) {
 	if id == "" || url == "" {
-		return fmt.Errorf("cluster: register needs id and url (got id=%q url=%q)", id, url)
+		return false, fmt.Errorf("cluster: register needs id and url (got id=%q url=%q)", id, url)
 	}
 	if capacity <= 0 {
 		capacity = 1
@@ -66,13 +69,14 @@ func (m *Membership) Register(id, url string, capacity int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	w := &member{id: id, url: url, capacity: capacity, lastBeat: m.now()}
-	if old, ok := m.workers[id]; ok {
+	old, ok := m.workers[id]
+	if ok {
 		w.assigned = old.assigned
 	}
 	m.workers[id] = w
 	m.ring.Add(id)
 	m.broadcastLocked()
-	return nil
+	return ok, nil
 }
 
 // Heartbeat refreshes a worker's liveness, reporting false for ids the

@@ -1,7 +1,10 @@
 package cluster
 
 import (
+	"bytes"
+	"crypto/subtle"
 	"encoding/json"
+	"net/http"
 
 	"repro/internal/service"
 )
@@ -106,4 +109,45 @@ type WorkerStatus struct {
 // WorkersResponse lists the live membership.
 type WorkersResponse struct {
 	Workers []WorkerStatus `json:"workers"`
+}
+
+// checkSecret reports whether r carries the cluster shared secret as a
+// bearer token. An empty secret disables the check (single-host and test
+// clusters).
+func checkSecret(r *http.Request, secret string) bool {
+	if secret == "" {
+		return true
+	}
+	got := []byte(r.Header.Get("Authorization"))
+	want := []byte("Bearer " + secret)
+	return subtle.ConstantTimeCompare(got, want) == 1
+}
+
+// requireSecret wraps h to demand the cluster shared secret on every
+// request; an empty secret returns h unchanged.
+func requireSecret(secret string, h http.Handler) http.Handler {
+	if secret == "" {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !checkSecret(r, secret) {
+			httpError(w, http.StatusUnauthorized, "cluster secret required")
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// postJSON posts body to url with the cluster secret attached when one is
+// configured — the single send path for all intra-cluster requests.
+func postJSON(client *http.Client, secret, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if secret != "" {
+		req.Header.Set("Authorization", "Bearer "+secret)
+	}
+	return client.Do(req)
 }

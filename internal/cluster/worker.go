@@ -35,6 +35,10 @@ type WorkerConfig struct {
 	// Capacity bounds concurrent cell executions; <= 0 selects
 	// runtime.NumCPU().
 	Capacity int
+	// Secret, when non-empty, is the cluster shared secret: it is sent as a
+	// bearer token on every worker → coordinator request and demanded on
+	// incoming assignments. Must match the coordinator's Config.Secret.
+	Secret string
 	// Client performs worker → coordinator requests; nil selects a client
 	// with a 10s timeout.
 	Client *http.Client
@@ -51,9 +55,21 @@ type Worker struct {
 	reg    *telemetry.Registry
 	log    *slog.Logger
 
+	// ctx is the execution context handed to cells. It stays live through a
+	// graceful Stop (in-flight cells finish and post their results) and is
+	// cancelled only by Kill — or by Stop after the drain, as a backstop.
 	ctx    context.Context
 	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	// wg tracks the heartbeat loop and every in-flight execution. stopMu
+	// serializes handleAssign's wg.Add against Stop's wg.Wait: once stopping
+	// is set no new execution may join the group, so the drain cannot race a
+	// late assignment (sync.WaitGroup forbids Add concurrent with Wait from
+	// zero). stop is closed when shutdown begins, halting the heartbeat loop
+	// and registration retries.
+	wg       sync.WaitGroup
+	stopMu   sync.Mutex
+	stopping bool
+	stop     chan struct{}
 
 	inflight atomic.Int64
 	executed atomic.Int64
@@ -90,6 +106,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		log:            telemetry.Component("worker").With("worker", cfg.ID),
 		ctx:            ctx,
 		cancel:         cancel,
+		stop:           make(chan struct{}),
 		heartbeatEvery: DefaultHeartbeatEvery,
 	}
 	w.reg.GaugeFunc("thermworker_inflight", "Cells currently executing on this worker.",
@@ -133,17 +150,35 @@ func (w *Worker) Start(ctx context.Context) error {
 	return nil
 }
 
-// Stop halts heartbeats and waits for in-flight executions to finish
-// posting their results.
+// beginStop marks the worker as stopping — new assignments are refused with
+// 503 — and halts the heartbeat loop and registration retries. Safe to call
+// more than once.
+func (w *Worker) beginStop() {
+	w.stopMu.Lock()
+	defer w.stopMu.Unlock()
+	if !w.stopping {
+		w.stopping = true
+		close(w.stop)
+	}
+}
+
+// Stop drains the worker gracefully: new assignments are refused, heartbeats
+// halt, and in-flight executions run to completion with a live context and
+// post their results before the execution context is finally cancelled.
+// Cancelling first would make every in-flight cell return "context canceled"
+// and post that as a cell failure, which the coordinator would journal
+// permanently — a routine SIGTERM must never commit spurious failures.
 func (w *Worker) Stop() {
-	w.cancel()
+	w.beginStop()
 	w.wg.Wait()
+	w.cancel()
 }
 
 // Kill simulates a crash (tests): the worker stops heartbeating, refuses new
-// assignments and silently drops the results of anything still running.
+// assignments, aborts in-flight executions and silently drops their results.
 func (w *Worker) Kill() {
 	w.killed.Store(true)
+	w.beginStop()
 	w.cancel()
 }
 
@@ -156,7 +191,7 @@ func (w *Worker) register(ctx context.Context) error {
 		return err
 	}
 	for {
-		resp, err := w.client.Post(w.cfg.CoordinatorURL+"/cluster/v1/register", "application/json", bytes.NewReader(body))
+		resp, err := postJSON(w.client, w.cfg.Secret, w.cfg.CoordinatorURL+"/cluster/v1/register", body)
 		if err == nil {
 			var rr RegisterResponse
 			decErr := json.NewDecoder(resp.Body).Decode(&rr)
@@ -180,8 +215,8 @@ func (w *Worker) register(ctx context.Context) error {
 		case <-time.After(time.Second):
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-w.ctx.Done():
-			return w.ctx.Err()
+		case <-w.stop:
+			return context.Canceled
 		}
 	}
 }
@@ -195,7 +230,7 @@ func (w *Worker) heartbeatLoop() {
 		every := w.heartbeatEvery
 		w.mu.Unlock()
 		select {
-		case <-w.ctx.Done():
+		case <-w.stop:
 			return
 		case <-time.After(every):
 		}
@@ -203,7 +238,7 @@ func (w *Worker) heartbeatLoop() {
 		if err != nil {
 			continue
 		}
-		resp, err := w.client.Post(w.cfg.CoordinatorURL+"/cluster/v1/heartbeat", "application/json", bytes.NewReader(hb))
+		resp, err := postJSON(w.client, w.cfg.Secret, w.cfg.CoordinatorURL+"/cluster/v1/heartbeat", hb)
 		if err != nil {
 			w.log.Warn("heartbeat failed", "err", err)
 			continue
@@ -223,6 +258,10 @@ func (w *Worker) heartbeatLoop() {
 // the background, streaming the result back to the coordinator's complete
 // endpoint.
 func (w *Worker) handleAssign(rw http.ResponseWriter, r *http.Request) {
+	if !checkSecret(r, w.cfg.Secret) {
+		httpError(rw, http.StatusUnauthorized, "cluster secret required")
+		return
+	}
 	if w.killed.Load() {
 		httpError(rw, http.StatusServiceUnavailable, "worker %s is shutting down", w.cfg.ID)
 		return
@@ -240,7 +279,18 @@ func (w *Worker) handleAssign(rw http.ResponseWriter, r *http.Request) {
 		httpError(rw, http.StatusTooManyRequests, "worker %s at capacity (%d inflight)", w.cfg.ID, w.cfg.Capacity)
 		return
 	}
+	// Join the WaitGroup under stopMu: once Stop has set stopping and moved
+	// on to wg.Wait, no new execution may appear, so refuse with 503 — the
+	// lease expires and the cell reassigns to a live worker.
+	w.stopMu.Lock()
+	if w.stopping {
+		w.stopMu.Unlock()
+		w.inflight.Add(-1)
+		httpError(rw, http.StatusServiceUnavailable, "worker %s is shutting down", w.cfg.ID)
+		return
+	}
 	w.wg.Add(1)
+	w.stopMu.Unlock()
 	go w.run(req)
 	rw.WriteHeader(http.StatusAccepted)
 }
@@ -265,6 +315,13 @@ func (w *Worker) run(req AssignRequest) {
 	if w.killed.Load() {
 		return // crashed: the result dies with the node
 	}
+	if err != nil && w.ctx.Err() != nil {
+		// The execution context was cut out from under the cell (Kill, or a
+		// Stop that raced past the drain), so the error says nothing about
+		// the cell itself. Drop the result: the lease expires and the cell
+		// reassigns, instead of journaling a spurious permanent failure.
+		return
+	}
 	w.complete(comp)
 }
 
@@ -278,7 +335,7 @@ func (w *Worker) complete(comp CompleteRequest) {
 		return
 	}
 	for attempt := 0; attempt < 3; attempt++ {
-		resp, err := w.client.Post(w.cfg.CoordinatorURL+"/cluster/v1/complete", "application/json", bytes.NewReader(body))
+		resp, err := postJSON(w.client, w.cfg.Secret, w.cfg.CoordinatorURL+"/cluster/v1/complete", body)
 		if err == nil {
 			var cr CompleteResponse
 			json.NewDecoder(resp.Body).Decode(&cr) //nolint:errcheck // best-effort diagnostics
