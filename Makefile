@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt-check vet test race recover-test cluster-test bench bench-smoke bench-compare bench-compare-smoke ci
+.PHONY: all build fmt-check vet test race recover-test cluster-test cluster-obs-test bench bench-smoke bench-compare bench-compare-smoke bench-dispatch-gate ci
 
 # Committed benchmark baseline that bench-compare diffs against.
 BENCH_BASELINE ?= BENCH_pr4.json
@@ -32,6 +32,14 @@ race:
 cluster-test:
 	$(GO) test -race ./internal/cluster
 
+# Observability-plane suite under the race detector: the in-process
+# coordinator + multi-worker harness asserting cross-node span-batch merge
+# (one trace, correct parent/child linkage), federated per-worker metrics on
+# /metrics, the cluster status/live surfaces, drain-flush accounting, and the
+# cluster flight-recorder storm triggers.
+cluster-obs-test:
+	$(GO) test -race -run 'TestClusterMergedTrace|TestFederatedMetrics|TestClusterStatus|TestClusterLive|TestWorkerDrainFlushesSpans|TestWorkerKillDiscardsSpans|TestClusterRecorder|TestHeartbeatClockOffset' ./internal/cluster
+
 # Crash-recovery suite under the race detector: WAL torn-tail truncation at
 # every byte offset, kill-and-restart resume, checkpoint warm starts.
 recover-test:
@@ -40,12 +48,14 @@ recover-test:
 # Full benchmark sweep (quick-mode experiment regeneration plus the
 # micro-benchmarks of every package). The human-readable benchstat text is
 # archived under results/ so runs are comparable across commits, and the same
-# run is distilled into BENCH_pr6.json (name -> ns/op, B/op, allocs/op) at
-# the repo root for machine consumption.
+# run is distilled into BENCH_pr7.json (name -> ns/op, B/op, allocs/op, plus
+# each benchmark's ns/op delta against the PR 6 baseline) at the repo root
+# for machine consumption. -report-only: the sweep records overhead, it is
+# not a gate — bench-dispatch-gate is.
 bench:
 	@mkdir -p results
 	$(GO) test -bench . -benchmem -count=1 -run '^$$' ./... | tee results/bench.txt
-	$(GO) run ./cmd/benchjson -o BENCH_pr6.json results/bench.txt
+	$(GO) run ./cmd/benchjson -compare BENCH_pr6.json -report-only -o BENCH_pr7.json results/bench.txt
 
 # Benchmark smoke: every benchmark compiles and survives one iteration.
 bench-smoke:
@@ -67,4 +77,16 @@ bench-compare-smoke:
 	$(GO) test -bench 'BenchmarkFig[13]$$' -benchmem -benchtime 2x -run '^$$' . | tee results/bench-compare-smoke.txt
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) results/bench-compare-smoke.txt
 
-ci: build fmt-check vet race cluster-test bench-smoke bench-compare-smoke
+# Span-propagation overhead gate: PR 7 threads trace context through every
+# dispatch round trip, so BenchmarkClusterDispatch must stay within 5% ns/op
+# of the pre-tracing PR 6 baseline (the recorded delta lands in BENCH_pr7.json
+# via `make bench`). -gate-ns: the span batch on the completion payload
+# legitimately allocates — allocs/op is reported, latency gates. Not part of
+# ci: a 5% wall-clock gate against a baseline recorded in a different run is
+# only meaningful on a quiet machine.
+bench-dispatch-gate:
+	@mkdir -p results
+	$(GO) test -bench 'BenchmarkClusterDispatch$$' -benchmem -count=1 -run '^$$' ./internal/cluster | tee results/bench-dispatch.txt
+	$(GO) run ./cmd/benchjson -only 'BenchmarkClusterDispatch' -threshold 0.05 -gate-ns -compare BENCH_pr6.json results/bench-dispatch.txt
+
+ci: build fmt-check vet race cluster-test cluster-obs-test bench-smoke bench-compare-smoke

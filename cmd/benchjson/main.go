@@ -8,6 +8,7 @@
 //	go test -bench . -benchmem ./... | benchjson -o BENCH.json
 //	benchjson -o BENCH.json results/bench.txt
 //	benchjson -compare BENCH_pr4.json -threshold 0.2 results/bench.txt
+//	benchjson -only ClusterDispatch -compare BENCH_pr6.json -threshold 0.05 -o BENCH_pr7.json results/bench.txt
 //
 // The raw text still flows to stdout, so benchjson drops into a pipeline
 // without hiding the human-readable output. Benchmarks that appear more than
@@ -18,6 +19,14 @@
 // exits nonzero if ns/op or allocs/op regressed by more than -threshold
 // (fractional, default 0.20 = 20%). Benchmarks present on only one side are
 // reported but never fail the run, so the baseline can lag the benchmark set.
+//
+// -only restricts the parsed set to benchmarks matching a regexp, so a gate
+// can target one benchmark out of a full sweep. When -o and -compare are
+// combined, each written result additionally records its ns/op delta against
+// the baseline ("vs_base_ns_pct"), making the summary file itself the
+// overhead record for that run; -report-only keeps the annotation and the
+// delta report but never fails, for summary-producing runs that are not
+// gates.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -38,12 +48,18 @@ type result struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// VsBaseNsPct is the ns/op delta against the -compare baseline, recorded
+	// only when -o and -compare run together (e.g. +3.1 = 3.1% slower).
+	VsBaseNsPct *float64 `json:"vs_base_ns_pct,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "", "write the JSON summary to this file (default stdout only)")
 	compare := flag.String("compare", "", "baseline JSON summary to diff against; regressions beyond -threshold fail the run")
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression in ns/op and allocs/op before -compare fails")
+	only := flag.String("only", "", "regexp restricting which benchmarks are kept (matched against the name without the -GOMAXPROCS suffix)")
+	reportOnly := flag.Bool("report-only", false, "with -compare, report and annotate deltas but never fail the run")
+	gateNS := flag.Bool("gate-ns", false, "with -compare, fail only on ns/op regressions; allocs/op deltas are reported but never gate (for changes whose payload legitimately allocates)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: go test -bench . -benchmem ./... | %s [-o BENCH.json] [-compare BASELINE.json [-threshold 0.2]] [FILE]\n", os.Args[0])
 		flag.PrintDefaults()
@@ -63,6 +79,15 @@ func main() {
 		echo = false
 	}
 
+	var keep *regexp.Regexp
+	if *only != "" {
+		var err error
+		if keep, err = regexp.Compile(*only); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -only:", err)
+			os.Exit(1)
+		}
+	}
+
 	results := map[string]result{}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -72,13 +97,24 @@ func main() {
 			fmt.Println(line)
 		}
 		name, r, ok := parseBenchLine(line)
-		if ok {
+		if ok && (keep == nil || keep.MatchString(name)) {
 			results[name] = r
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	// Annotate before writing so the summary file records each benchmark's
+	// overhead against the baseline, then gate after the file is on disk.
+	compareOK := true
+	if *compare != "" {
+		compareOK = compareBaseline(os.Stderr, *compare, results, *threshold, *gateNS)
+		if !compareOK && *reportOnly {
+			fmt.Fprintln(os.Stderr, "benchjson: -report-only — regression reported above, not gating")
+			compareOK = true
+		}
 	}
 
 	if *out != "" {
@@ -98,10 +134,8 @@ func main() {
 		writeSummary(os.Stdout, results)
 	}
 
-	if *compare != "" {
-		if !compareBaseline(os.Stderr, *compare, results, *threshold) {
-			os.Exit(1)
-		}
+	if !compareOK {
+		os.Exit(1)
 	}
 }
 
@@ -117,9 +151,11 @@ func writeSummary(w io.Writer, results map[string]result) {
 }
 
 // compareBaseline diffs results against the baseline summary file and reports
-// per-benchmark deltas. It returns false if any benchmark present in both
-// regressed beyond the threshold on ns/op or allocs/op.
-func compareBaseline(w io.Writer, path string, results map[string]result, threshold float64) bool {
+// per-benchmark deltas, annotating each overlapping entry in results with its
+// ns/op delta (VsBaseNsPct). It returns false if any benchmark present in
+// both regressed beyond the threshold on ns/op or — unless nsOnly — on
+// allocs/op.
+func compareBaseline(w io.Writer, path string, results map[string]result, threshold float64, nsOnly bool) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(w, "benchjson:", err)
@@ -147,11 +183,16 @@ func compareBaseline(w io.Writer, path string, results map[string]result, thresh
 			continue
 		}
 		compared++
+		if b.NsPerOp > 0 {
+			pct := 100 * (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+			r.VsBaseNsPct = &pct
+			results[name] = r
+		}
 		line := fmt.Sprintf("  %-40s ns/op %s", name, deltaStr(b.NsPerOp, r.NsPerOp))
 		bad := regressed(b.NsPerOp, r.NsPerOp, threshold)
 		if b.AllocsPerOp != nil && r.AllocsPerOp != nil {
 			line += fmt.Sprintf("  allocs/op %s", deltaStr(*b.AllocsPerOp, *r.AllocsPerOp))
-			bad = bad || regressed(*b.AllocsPerOp, *r.AllocsPerOp, threshold)
+			bad = bad || (!nsOnly && regressed(*b.AllocsPerOp, *r.AllocsPerOp, threshold))
 		}
 		if bad {
 			line += "  REGRESSION"

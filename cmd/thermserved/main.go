@@ -22,8 +22,11 @@
 //	GET    /v1/jobs/{id}/trace  span trace (?format=chrome for Perfetto, jsonl)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/checkpoints      Q-table checkpoints (POST/GET/DELETE .../{name})
+//	GET    /v1/cluster/status   cluster membership/lease/throughput snapshot (coordinator)
+//	GET    /v1/cluster/live     SSE stream of status + cluster events (coordinator)
 //	GET    /healthz             liveness
-//	GET    /metrics             Prometheus text exposition
+//	GET    /metrics             Prometheus text exposition (on a coordinator,
+//	                            including every worker's federated series)
 //
 // -data-dir makes the job store crash-safe: every lifecycle transition is
 // committed to a WAL under DIR/jobs before it is acknowledged, snapshots
@@ -41,6 +44,9 @@
 // -temp-ceiling, NaN/Inf temperatures or metrics, and jobs making no
 // progress for -stall-deadline each dump the last spans and decision events
 // to DIR/flightrec-<job>.json and bump the flightrec_alerts_total counter.
+// On a coordinator the same directory receives DIR/flightrec-cluster.json
+// when a lease-reassignment storm or heartbeat-loss burst trips the cluster
+// black box.
 //
 // -debug-addr mounts net/http/pprof on a separate listener (never on the
 // public address); worker goroutines carry pprof labels (job, cell), so
@@ -131,6 +137,15 @@ func main() {
 	slog.SetDefault(telemetry.NewLogger(os.Stderr, level))
 	log := telemetry.Component("thermserved")
 
+	// Lint the metrics exposition once at boot: every registered family must
+	// render Prometheus 0.0.4-conformant text (cumulative buckets, +Inf ==
+	// _count, _sum/_count present). A malformed family is a bug worth dying
+	// for before a scraper quietly drops the page.
+	if err := telemetry.SelfTest(); err != nil {
+		fmt.Fprintln(os.Stderr, "thermserved: metrics self-test:", err)
+		os.Exit(1)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -161,7 +176,15 @@ func main() {
 	}
 	var coord *cluster.Coordinator
 	if *role == "coordinator" {
-		coord = cluster.NewCoordinator(pool, cluster.Config{LeaseTTL: *leaseTTL, HeartbeatEvery: *heartbeatEvery, Secret: *clusterSecret})
+		// -flight-dir doubles as the cluster black box: lease-reassignment
+		// storms and heartbeat-loss bursts dump recent cluster events to
+		// DIR/flightrec-cluster.json next to the per-job dumps.
+		coord = cluster.NewCoordinator(pool, cluster.Config{
+			LeaseTTL:       *leaseTTL,
+			HeartbeatEvery: *heartbeatEvery,
+			Secret:         *clusterSecret,
+			FlightDir:      *flightDir,
+		})
 	}
 
 	// Arm the flight recorder before any job can run — including the ones the
@@ -255,10 +278,16 @@ func main() {
 		}()
 	}
 
-	var handler http.Handler = service.NewServer(store, pool)
+	apiServer := service.NewServer(store, pool)
+	var handler http.Handler = apiServer
 	if coord != nil {
+		// One scrape of the coordinator's /metrics sees the whole fleet: the
+		// server's own exposition plus every worker's federated series.
+		apiServer.AppendMetrics(coord.WriteFederatedMetrics)
 		mux := http.NewServeMux()
 		mux.Handle("/cluster/v1/", coord.Handler())
+		mux.Handle("GET /v1/cluster/status", coord.StatusHandler())
+		mux.Handle("GET /v1/cluster/live", coord.StatusHandler())
 		mux.Handle("/", handler)
 		handler = mux
 	}

@@ -52,6 +52,17 @@ const (
 	// own CPU count. Dispatchers are cheap (a goroutine parked on a lease
 	// channel), so the default is generous.
 	DefaultDispatchWidth = 256
+	// DefaultStormWindow is the sliding window for cluster storm detection.
+	DefaultStormWindow = 10 * time.Second
+	// DefaultStormReassigns / DefaultStormDeaths are the in-window event
+	// counts that trip a lease-storm / heartbeat-loss anomaly. Reassignments
+	// are routine one at a time (a slow worker) but a burst means work is
+	// bouncing; several deaths in one window means partition, not one bad
+	// node.
+	DefaultStormReassigns = 8
+	DefaultStormDeaths    = 3
+	// DefaultStatusPoll is the /v1/cluster/live SSE refresh period.
+	DefaultStatusPoll = time.Second
 )
 
 // Config parameterizes a Coordinator. The zero value selects every default.
@@ -78,6 +89,24 @@ type Config struct {
 	// a client with a short dial-oriented timeout (the assignment ACK is
 	// immediate; results stream back on a separate connection).
 	Client *http.Client
+	// FlightDir, when non-empty, enables the cluster flight recorder: a
+	// lease-reassignment storm or heartbeat-loss burst dumps the newest
+	// cluster events to <FlightDir>/flightrec-cluster.json. Storm detection
+	// and the event ring run regardless; only the dump needs a directory.
+	FlightDir string
+	// StormWindow is the sliding window for storm detection; 0 selects
+	// DefaultStormWindow.
+	StormWindow time.Duration
+	// StormReassigns trips a lease-storm anomaly when that many lease
+	// reassignments land within StormWindow; 0 selects
+	// DefaultStormReassigns, negative disables.
+	StormReassigns int
+	// StormDeaths trips a heartbeat-loss anomaly when that many workers die
+	// within StormWindow; 0 selects DefaultStormDeaths, negative disables.
+	StormDeaths int
+	// StatusPoll is the /v1/cluster/live SSE refresh period; 0 selects
+	// DefaultStatusPoll.
+	StatusPoll time.Duration
 }
 
 // withDefaults resolves zero fields.
@@ -96,6 +125,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.StormWindow <= 0 {
+		c.StormWindow = DefaultStormWindow
+	}
+	if c.StormReassigns == 0 {
+		c.StormReassigns = DefaultStormReassigns
+	}
+	if c.StormDeaths == 0 {
+		c.StormDeaths = DefaultStormDeaths
+	}
+	if c.StatusPoll <= 0 {
+		c.StatusPoll = DefaultStatusPoll
 	}
 	return c
 }

@@ -26,7 +26,9 @@ type Coordinator struct {
 	pool    *service.Pool
 	members *Membership
 	leases  *Leases
+	events  *ClusterRecorder
 	mux     *http.ServeMux
+	status  *http.ServeMux
 	log     *slog.Logger
 
 	// sweeper lifecycle.
@@ -39,7 +41,11 @@ type Coordinator struct {
 	leasesExpired    *telemetry.Counter
 	duplicateResults *telemetry.Counter
 	workersDead      *telemetry.Counter
+	spansImported    *telemetry.Counter
+	spanFlushes      *telemetry.Counter
 	dispatchSeconds  *telemetry.Histogram
+	execSeconds      *telemetry.Histogram
+	commitSeconds    *telemetry.Histogram
 }
 
 // NewCoordinator builds a coordinator over pool and installs itself as the
@@ -54,7 +60,9 @@ func NewCoordinator(pool *service.Pool, cfg Config) *Coordinator {
 		pool:    pool,
 		members: NewMembership(cfg.RingReplicas),
 		leases:  NewLeases(),
+		events:  NewClusterRecorder(cfg.FlightDir, cfg.StormWindow, cfg.StormReassigns, cfg.StormDeaths, pool.Registry()),
 		mux:     http.NewServeMux(),
+		status:  http.NewServeMux(),
 		log:     telemetry.Component("coordinator"),
 		ctx:     ctx,
 		cancel:  cancel,
@@ -66,8 +74,14 @@ func NewCoordinator(pool *service.Pool, cfg Config) *Coordinator {
 	c.leasesExpired = reg.Counter("thermserved_cluster_leases_expired_total", "Leases that expired before their result arrived.")
 	c.duplicateResults = reg.Counter("thermserved_cluster_duplicate_results_total", "Worker completions dropped idempotently (stale lease).")
 	c.workersDead = reg.Counter("thermserved_cluster_workers_dead_total", "Workers declared dead after missing heartbeats.")
+	c.spansImported = reg.Counter("thermserved_cluster_spans_imported_total", "Worker-side spans merged into coordinator job traces.")
+	c.spanFlushes = reg.Counter("thermserved_cluster_span_flushes_total", "Span-only completions (drained cells) merged into job traces.")
 	c.dispatchSeconds = reg.Histogram("thermserved_cluster_dispatch_seconds",
 		"Latency from lease grant to the cell result arriving at the coordinator.", telemetry.DefBuckets)
+	c.execSeconds = reg.Histogram("thermserved_cluster_exec_seconds",
+		"Worker-side cell execution wall time, as reported on completions.", telemetry.DefBuckets)
+	c.commitSeconds = reg.Histogram("thermserved_cluster_commit_seconds",
+		"Coordinator-side commit latency: result arrival to row decoded and returned to the pool.", telemetry.DefBuckets)
 	reg.GaugeFunc("thermserved_cluster_workers_alive", "Workers currently registered and heartbeating.",
 		func() float64 { return float64(c.members.Alive()) })
 	reg.GaugeFunc("thermserved_cluster_leases_active", "Cell leases currently outstanding.",
@@ -75,11 +89,16 @@ func NewCoordinator(pool *service.Pool, cfg Config) *Coordinator {
 	reg.GaugeFunc("thermserved_cluster_shard_imbalance",
 		"Max over mean lifetime cell assignments across live workers (1.0 = balanced, 0 = fewer than two loaded workers).",
 		func() float64 { return c.members.Imbalance() })
+	reg.GaugeFunc("thermserved_cluster_lease_churn_per_min",
+		"Lease reassignments within the trailing minute.",
+		func() float64 { return float64(c.events.RecentReassigns(time.Minute)) })
 
 	c.mux.HandleFunc("POST /cluster/v1/register", c.handleRegister)
 	c.mux.HandleFunc("POST /cluster/v1/heartbeat", c.handleHeartbeat)
 	c.mux.HandleFunc("POST /cluster/v1/complete", c.handleComplete)
 	c.mux.HandleFunc("GET /cluster/v1/workers", c.handleWorkers)
+	c.status.HandleFunc("GET /v1/cluster/status", c.handleStatus)
+	c.status.HandleFunc("GET /v1/cluster/live", c.handleLiveStatus)
 
 	pool.SetCellRunner(c.RunCell)
 	return c
@@ -114,6 +133,8 @@ func (c *Coordinator) Start() {
 				for _, id := range c.members.Sweep(c.cfg.ExpireAfter) {
 					n := c.leases.ExpireWorker(id)
 					c.workersDead.Inc()
+					c.events.Record(ClusterEvent{Kind: EventWorkerDead, Worker: id,
+						Detail: fmt.Sprintf("%d leases reassigned", n)})
 					c.log.Warn("worker dead (missed heartbeats)", "worker", id, "leases_reassigned", n)
 				}
 			}
@@ -139,6 +160,10 @@ func (c *Coordinator) RunCell(ctx context.Context, job string, spec service.Spec
 	if err != nil {
 		return nil, "", err
 	}
+	// The pool's runTask installs the job tracer and the cell span on the
+	// dispatch context; every tracer method is nil-safe, so standalone tests
+	// that call RunCell without one need no branches here.
+	tracer, cellSpan := telemetry.SpanFromContext(ctx)
 	for attempt := 0; ; attempt++ {
 		wid, wurl, err := c.members.Acquire(ctx, key, attempt)
 		if err != nil {
@@ -146,21 +171,49 @@ func (c *Coordinator) RunCell(ctx context.Context, job string, spec service.Spec
 		}
 		lease := c.leases.Grant(job, idx, wid, c.cfg.LeaseTTL)
 		c.leasesGranted.Inc()
+		c.events.Record(ClusterEvent{Kind: EventLeaseGranted, Worker: wid, Job: job, Cell: idx,
+			Detail: fmt.Sprintf("lease %d", lease.ID)})
 		if attempt > 0 {
 			c.leasesReassigned.Inc()
+			c.events.Record(ClusterEvent{Kind: EventLeaseReassigned, Worker: wid, Job: job, Cell: idx,
+				Detail: fmt.Sprintf("attempt %d", attempt)})
+		}
+		dispatchSpan := tracer.Start(cellSpan, telemetry.KindDispatch, "dispatch "+wid,
+			telemetry.Str("worker", wid),
+			telemetry.Num("attempt", float64(attempt)),
+			telemetry.Num("lease_id", float64(lease.ID)))
+		var tc *TraceContext
+		if tracer != nil {
+			tc = &TraceContext{Trace: job, ParentSpan: dispatchSpan}
 		}
 		start := time.Now()
 		go c.deliverAssign(wid, wurl, lease, AssignRequest{
-			Job: job, Cell: idx, LeaseID: lease.ID, Spec: spec, WarmAgent: warm,
+			Job: job, Cell: idx, LeaseID: lease.ID, Spec: spec, WarmAgent: warm, Trace: tc,
 		})
 		select {
 		case res := <-lease.Done():
 			c.members.Release(wid)
 			c.dispatchSeconds.Observe(time.Since(start).Seconds())
+			if res.ExecUS > 0 {
+				c.execSeconds.Observe(float64(res.ExecUS) / 1e6)
+			}
+			if len(res.Spans) > 0 {
+				n := tracer.Import(dispatchSpan, res.Spans,
+					telemetry.Str("node", wid),
+					telemetry.Num("clock_offset_us", float64(c.members.ClockOffsetUS(wid))))
+				c.spansImported.Add(int64(n))
+			}
+			commitStart := time.Now()
 			if res.Err != "" {
+				tracer.End(dispatchSpan, telemetry.Str("error", res.Err))
 				return nil, wid, errors.New(res.Err)
 			}
 			row, err := experiments.DecodeCellRow(spec.Experiment, res.Row)
+			commitUS := time.Since(commitStart).Microseconds()
+			c.commitSeconds.Observe(float64(commitUS) / 1e6)
+			tracer.End(dispatchSpan)
+			tracer.Record(cellSpan, telemetry.KindPhase, "commit",
+				commitStart.UnixMicro(), commitUS, telemetry.Str("worker", wid))
 			if err != nil {
 				return nil, wid, fmt.Errorf("cluster: worker %s returned undecodable row for %s: %w", wid, key, err)
 			}
@@ -168,6 +221,9 @@ func (c *Coordinator) RunCell(ctx context.Context, job string, spec service.Spec
 		case <-lease.Expired():
 			c.leasesExpired.Inc()
 			c.members.Release(wid)
+			tracer.End(dispatchSpan, telemetry.Bool("expired", true))
+			c.events.Record(ClusterEvent{Kind: EventLeaseExpired, Worker: wid, Job: job, Cell: idx,
+				Detail: fmt.Sprintf("lease %d", lease.ID)})
 			c.log.Warn("lease expired, reassigning cell", "job", job, "cell", idx, "worker", wid, "attempt", attempt)
 			// A lease that died instantly (unreachable worker) would
 			// otherwise retry in a tight loop; back off briefly, scaled by
@@ -186,6 +242,7 @@ func (c *Coordinator) RunCell(ctx context.Context, job string, spec service.Spec
 		case <-ctx.Done():
 			c.leases.Cancel(lease)
 			c.members.Release(wid)
+			tracer.End(dispatchSpan, telemetry.Bool("cancelled", true))
 			return nil, "", ctx.Err()
 		}
 	}
@@ -256,6 +313,8 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 				"worker", req.ID, "leases", n)
 		}
 	}
+	c.events.Record(ClusterEvent{Kind: EventWorkerRegistered, Worker: req.ID,
+		Detail: fmt.Sprintf("capacity %d", req.Capacity)})
 	c.log.Info("worker registered", "worker", req.ID, "url", req.URL, "capacity", req.Capacity)
 	httpJSON(w, http.StatusOK, RegisterResponse{
 		HeartbeatEveryMs: c.cfg.HeartbeatEvery.Milliseconds(),
@@ -270,11 +329,13 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad heartbeat: %v", err)
 		return
 	}
-	if !c.members.Heartbeat(req.ID, req.Inflight) {
+	if !c.members.Heartbeat(req.ID, req.Inflight, req.ClockOffsetUS, req.Metrics) {
 		httpError(w, http.StatusNotFound, "unknown worker %q (re-register)", req.ID)
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	// 200 + timestamp (PR 6 answered a bare 204): the worker estimates its
+	// clock offset from NowUS against the round trip's midpoint.
+	httpJSON(w, http.StatusOK, HeartbeatResponse{NowUS: time.Now().UnixMicro()})
 }
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
@@ -283,12 +344,41 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad completion: %v", err)
 		return
 	}
-	ok := c.leases.Complete(req.Job, req.Cell, req.LeaseID, req.Worker, Result{Row: req.Row, Err: req.Err})
+	if req.Flush {
+		// Span-only salvage from a drained or expired cell: nothing to
+		// settle on the lease table, but the partial trace still belongs in
+		// the job's archive. The dispatch span it hung under is gone, so the
+		// batch roots at the top of the job trace, tagged with its origin.
+		if tr, ok := c.pool.JobTracer(req.Job); ok && len(req.Spans) > 0 {
+			n := tr.Import(0, req.Spans,
+				telemetry.Str("node", req.Worker),
+				telemetry.Bool("flushed", true))
+			c.spansImported.Add(int64(n))
+			c.spanFlushes.Inc()
+		}
+		c.events.Record(ClusterEvent{Kind: EventSpanFlush, Worker: req.Worker, Job: req.Job, Cell: req.Cell,
+			Detail: fmt.Sprintf("%d spans", len(req.Spans))})
+		httpJSON(w, http.StatusOK, CompleteResponse{})
+		return
+	}
+	ok := c.leases.Complete(req.Job, req.Cell, req.LeaseID, req.Worker,
+		Result{Row: req.Row, Err: req.Err, Spans: req.Spans, ExecUS: req.ExecUS})
 	if !ok {
-		// Stale or double delivery: drop idempotently. 200 (not an error)
-		// so the worker does not retry.
+		// Stale or double delivery: drop the result idempotently. 200 (not
+		// an error) so the worker does not retry. The span batch is still
+		// merged — the expired attempt's work belongs in the trace even
+		// though its result lost the race to a reassignment.
+		if tr, tok := c.pool.JobTracer(req.Job); tok && len(req.Spans) > 0 {
+			n := tr.Import(0, req.Spans,
+				telemetry.Str("node", req.Worker),
+				telemetry.Bool("stale", true))
+			c.spansImported.Add(int64(n))
+		}
 		c.duplicateResults.Inc()
 		c.log.Info("stale completion dropped", "worker", req.Worker, "job", req.Job, "cell", req.Cell, "lease", req.LeaseID)
+	} else {
+		c.members.Committed(req.Worker)
+		c.events.Record(ClusterEvent{Kind: EventCellCommitted, Worker: req.Worker, Job: req.Job, Cell: req.Cell})
 	}
 	httpJSON(w, http.StatusOK, CompleteResponse{Duplicate: !ok})
 }

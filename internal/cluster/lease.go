@@ -5,13 +5,19 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Result is one cell outcome streamed back by a worker; exactly one of Row
-// and Err is meaningful.
+// and Err is meaningful. Spans and ExecUS are the observability piggyback:
+// the worker-side span batch (already clock-aligned) and the remote wall
+// time, delivered to the dispatcher alongside the result.
 type Result struct {
-	Row json.RawMessage
-	Err string
+	Row    json.RawMessage
+	Err    string
+	Spans  []telemetry.Span
+	ExecUS int64
 }
 
 // Lease is one time-bounded cell assignment. The dispatching goroutine

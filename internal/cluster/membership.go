@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // member is the coordinator-side state of one registered worker.
@@ -19,7 +21,15 @@ type member struct {
 	// assigned is the lifetime lease count, feeding the shard-imbalance
 	// gauge.
 	assigned int64
-	lastBeat time.Time
+	// completed is the lifetime count of results this worker delivered.
+	completed int64
+	lastBeat  time.Time
+	// clockOffsetUS is the worker's last reported clock-offset estimate
+	// (coordinator clock - worker clock), microseconds.
+	clockOffsetUS int64
+	// metrics is the worker's last heartbeat registry snapshot; it dies with
+	// the member, so federation never exposes a dead node's series.
+	metrics []telemetry.SampleFamily
 }
 
 // Membership tracks registered workers, their heartbeats and their inflight
@@ -72,6 +82,7 @@ func (m *Membership) Register(id, url string, capacity int) (replaced bool, err 
 	old, ok := m.workers[id]
 	if ok {
 		w.assigned = old.assigned
+		w.completed = old.completed
 	}
 	m.workers[id] = w
 	m.ring.Add(id)
@@ -79,9 +90,10 @@ func (m *Membership) Register(id, url string, capacity int) (replaced bool, err 
 	return ok, nil
 }
 
-// Heartbeat refreshes a worker's liveness, reporting false for ids the
-// coordinator does not know (the worker should re-register).
-func (m *Membership) Heartbeat(id string, inflight int) bool {
+// Heartbeat refreshes a worker's liveness and absorbs the beat's telemetry
+// payload (clock-offset estimate, registry snapshot), reporting false for ids
+// the coordinator does not know (the worker should re-register).
+func (m *Membership) Heartbeat(id string, inflight int, clockOffsetUS int64, metrics []telemetry.SampleFamily) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	w, ok := m.workers[id]
@@ -89,8 +101,70 @@ func (m *Membership) Heartbeat(id string, inflight int) bool {
 		return false
 	}
 	w.lastBeat = m.now()
+	w.clockOffsetUS = clockOffsetUS
+	if metrics != nil {
+		w.metrics = metrics
+	}
 	_ = inflight // reported for the status listing only; Acquire is authoritative
 	return true
+}
+
+// Committed credits one delivered result to a worker (a no-op for dead ids).
+func (m *Membership) Committed(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if w, ok := m.workers[id]; ok {
+		w.completed++
+	}
+}
+
+// ClockOffsetUS returns a worker's last reported clock-offset estimate (0 for
+// unknown ids or workers that never estimated).
+func (m *Membership) ClockOffsetUS(id string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if w, ok := m.workers[id]; ok {
+		return w.clockOffsetUS
+	}
+	return 0
+}
+
+// Federated merges every live worker's last metrics snapshot into one family
+// list, each series gaining a worker label — the coordinator re-exposes the
+// result on /metrics. Families are merged by name (help/kind from the first
+// worker to report them); output is sorted by family name, series by label.
+func (m *Membership) Federated() []telemetry.SampleFamily {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byName := make(map[string]*telemetry.SampleFamily)
+	var order []string
+	ids := make([]string, 0, len(m.workers))
+	for id := range m.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		for _, fam := range m.workers[id].metrics {
+			merged, ok := byName[fam.Name]
+			if !ok {
+				merged = &telemetry.SampleFamily{Name: fam.Name, Help: fam.Help, Kind: fam.Kind}
+				byName[fam.Name] = merged
+				order = append(order, fam.Name)
+			}
+			for _, s := range fam.Series {
+				s.Labels = telemetry.WithLabel(s.Labels, "worker", id)
+				merged.Series = append(merged.Series, s)
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]telemetry.SampleFamily, 0, len(order))
+	for _, name := range order {
+		fam := byName[name]
+		sort.Slice(fam.Series, func(i, j int) bool { return fam.Series[i].Labels < fam.Series[j].Labels })
+		out = append(out, *fam)
+	}
+	return out
 }
 
 // Sweep removes every worker whose last heartbeat is older than expireAfter
@@ -190,12 +264,14 @@ func (m *Membership) Snapshot() []WorkerStatus {
 	out := make([]WorkerStatus, 0, len(m.workers))
 	for _, w := range m.workers {
 		out = append(out, WorkerStatus{
-			ID:         w.id,
-			URL:        w.url,
-			Capacity:   w.capacity,
-			Inflight:   w.inflight,
-			Assigned:   w.assigned,
-			LastBeatMs: now.Sub(w.lastBeat).Milliseconds(),
+			ID:            w.id,
+			URL:           w.url,
+			Capacity:      w.capacity,
+			Inflight:      w.inflight,
+			Assigned:      w.assigned,
+			Completed:     w.completed,
+			LastBeatMs:    now.Sub(w.lastBeat).Milliseconds(),
+			ClockOffsetUS: w.clockOffsetUS,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

@@ -1,0 +1,451 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// tracedExecutor is the worker-side twin of stubExecutor that also behaves
+// like the real ExecuteCell tracing-wise: it records a run span under the
+// propagated exec parent, the way experiments.traceCfg nests sim runs.
+func tracedExecutor(delay time.Duration) Executor {
+	return func(ctx context.Context, spec service.Spec, cell int, _ json.RawMessage) (json.RawMessage, error) {
+		tr, parent := telemetry.SpanFromContext(ctx)
+		run := tr.Start(parent, telemetry.KindRun, fmt.Sprintf("run-%03d", cell))
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				tr.End(run, telemetry.Str("error", ctx.Err().Error()))
+				return nil, ctx.Err()
+			}
+		}
+		tr.End(run)
+		return json.Marshal(stubRow(cell))
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestClusterMergedTrace is the tentpole assertion: a job run on an
+// in-process coordinator plus two workers yields ONE trace containing spans
+// from all three nodes with correct parent/child linkage — job → cell →
+// dispatch (coordinator) → exec (worker) → run (worker), plus the queue-wait
+// and commit phase spans.
+func TestClusterMergedTrace(t *testing.T) {
+	const cells = 16
+	tc := startTestCluster(t, testClusterConfig(), func(_ *service.Store, p *service.Pool) {
+		p.SetPlanner(stubPlanner(cells, 0))
+	})
+	tc.addWorker(4, tracedExecutor(0))
+	tc.addWorker(4, tracedExecutor(0))
+
+	job := tc.submitAndWait(service.Spec{Experiment: "suite", Quick: true}, time.Minute)
+	if job.State != service.StateDone {
+		t.Fatalf("job finished %s: %s", job.State, job.Error)
+	}
+
+	tracer, ok := tc.store.Tracer(job.ID)
+	if !ok || tracer == nil {
+		t.Fatal("job has no tracer")
+	}
+	spans := tracer.Snapshot()
+	byID := make(map[telemetry.SpanID]telemetry.Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	kindOf := func(id telemetry.SpanID) string {
+		if sp, ok := byID[id]; ok {
+			return sp.Kind
+		}
+		return ""
+	}
+
+	var execs, runs, dispatches, queueWaits, commits int
+	nodes := make(map[string]bool)
+	for _, sp := range spans {
+		switch sp.Kind {
+		case telemetry.KindExec:
+			execs++
+			// exec parent must be the coordinator-side dispatch span...
+			if got := kindOf(sp.Parent); got != telemetry.KindDispatch {
+				t.Fatalf("exec span %d parented by %q, want dispatch", sp.ID, got)
+			}
+			// ...and carry the worker identity plus the clock-offset
+			// annotation stamped at import.
+			node, _, ok := sp.Attr("node")
+			if !ok {
+				t.Fatalf("exec span %d has no node attribute", sp.ID)
+			}
+			nodes[node] = true
+			if _, _, ok := sp.Attr("clock_offset_us"); !ok {
+				t.Fatalf("exec span %d has no clock_offset_us annotation", sp.ID)
+			}
+		case telemetry.KindRun:
+			runs++
+			if got := kindOf(sp.Parent); got != telemetry.KindExec {
+				t.Fatalf("run span %d parented by %q, want exec", sp.ID, got)
+			}
+		case telemetry.KindDispatch:
+			dispatches++
+			if got := kindOf(sp.Parent); got != telemetry.KindCell {
+				t.Fatalf("dispatch span %d parented by %q, want cell", sp.ID, got)
+			}
+		case telemetry.KindCell:
+			if got := kindOf(sp.Parent); got != telemetry.KindJob {
+				t.Fatalf("cell span %d parented by %q, want job", sp.ID, got)
+			}
+		case telemetry.KindPhase:
+			switch sp.Name {
+			case "queue-wait":
+				queueWaits++
+			case "commit":
+				commits++
+			}
+			if got := kindOf(sp.Parent); got != telemetry.KindCell {
+				t.Fatalf("phase span %q parented by %q, want cell", sp.Name, got)
+			}
+		}
+	}
+	if execs != cells || runs != cells {
+		t.Fatalf("got %d exec / %d run spans, want %d each", execs, runs, cells)
+	}
+	if dispatches < cells {
+		t.Fatalf("got %d dispatch spans, want >= %d", dispatches, cells)
+	}
+	if queueWaits != cells || commits != cells {
+		t.Fatalf("got %d queue-wait / %d commit phase spans, want %d each", queueWaits, commits, cells)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("trace contains exec spans from %v, want both workers", nodes)
+	}
+	if got := tc.metric("thermserved_cluster_spans_imported_total"); got < float64(2*cells) {
+		t.Fatalf("spans_imported_total = %v, want >= %d", got, 2*cells)
+	}
+}
+
+// TestFederatedMetrics asserts the coordinator's /metrics (via the service
+// server's AppendMetrics hook) exposes per-worker-labeled series federated
+// from heartbeats, alongside the cluster aggregates, and that the whole
+// exposition passes the Prometheus 0.0.4 lint.
+func TestFederatedMetrics(t *testing.T) {
+	tc := startTestCluster(t, testClusterConfig(), func(_ *service.Store, p *service.Pool) {
+		p.SetPlanner(stubPlanner(4, 0))
+	})
+	tc.addWorker(2, stubExecutor(0))
+	tc.addWorker(2, stubExecutor(0))
+	tc.submitAndWait(service.Spec{Experiment: "suite", Quick: true}, time.Minute)
+
+	// Metrics arrive on heartbeats; wait for both workers' snapshots.
+	waitFor(t, 5*time.Second, "federated snapshots from both workers", func() bool {
+		fams := tc.coord.Membership().Federated()
+		workers := make(map[string]bool)
+		for _, fam := range fams {
+			if fam.Name != "thermworker_capacity" {
+				continue
+			}
+			for _, s := range fam.Series {
+				workers[s.Labels] = true
+			}
+		}
+		return len(workers) >= 2
+	})
+
+	srv := service.NewServer(tc.store, tc.pool)
+	srv.AppendMetrics(tc.coord.WriteFederatedMetrics)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+
+	for _, want := range []string{
+		`thermworker_capacity{worker="w0"}`,
+		`thermworker_capacity{worker="w1"}`,
+		`thermworker_cells_executed_total{worker="w0"}`,
+		"thermserved_cluster_shard_imbalance",
+		"thermserved_cluster_dispatch_seconds_bucket",
+		"thermserved_cluster_exec_seconds_bucket",
+		"thermserved_cluster_commit_seconds_bucket",
+		"thermserved_cluster_lease_churn_per_min",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if err := telemetry.ValidatePrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition failed conformance lint: %v", err)
+	}
+}
+
+// TestClusterStatusEndpoint exercises GET /v1/cluster/status.
+func TestClusterStatusEndpoint(t *testing.T) {
+	tc := startTestCluster(t, testClusterConfig(), func(_ *service.Store, p *service.Pool) {
+		p.SetPlanner(stubPlanner(6, 0))
+	})
+	tc.addWorker(2, stubExecutor(0))
+	tc.addWorker(2, stubExecutor(0))
+	tc.submitAndWait(service.Spec{Experiment: "suite", Quick: true}, time.Minute)
+
+	rec := httptest.NewRecorder()
+	tc.coord.StatusHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/cluster/status", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status endpoint answered %d: %s", rec.Code, rec.Body)
+	}
+	var st ClusterStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Alive != 2 || len(st.Workers) != 2 {
+		t.Fatalf("status reports %d/%d workers, want 2", st.Alive, len(st.Workers))
+	}
+	if st.EventsTotal == 0 {
+		t.Fatal("status reports no cluster events after a completed job")
+	}
+	var completed int64
+	for _, w := range st.Workers {
+		completed += w.Completed
+	}
+	if completed != 6 {
+		t.Fatalf("workers report %d completed cells, want 6", completed)
+	}
+	total := 0
+	for _, n := range st.ThroughputCPM {
+		total += n
+	}
+	if total != 6 {
+		t.Fatalf("throughput window counts %d commits, want 6", total)
+	}
+}
+
+// TestClusterLiveSSE exercises the /v1/cluster/live stream: it must deliver a
+// status frame and the cluster events recorded so far.
+func TestClusterLiveSSE(t *testing.T) {
+	cfg := testClusterConfig()
+	cfg.StatusPoll = 20 * time.Millisecond
+	tc := startTestCluster(t, cfg, func(_ *service.Store, p *service.Pool) {
+		p.SetPlanner(stubPlanner(3, 0))
+	})
+	tc.addWorker(2, stubExecutor(0))
+	tc.submitAndWait(service.Spec{Experiment: "suite", Quick: true}, time.Minute)
+
+	srv := httptest.NewServer(tc.coord.StatusHandler())
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/cluster/live", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("live stream Content-Type = %q", ct)
+	}
+
+	var sawStatus bool
+	events := make(map[string]int)
+	sc := bufio.NewScanner(resp.Body)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "status":
+				var st ClusterStatus
+				if err := json.Unmarshal([]byte(data), &st); err != nil {
+					t.Fatalf("bad status frame: %v", err)
+				}
+				sawStatus = true
+			case "cluster":
+				var ev ClusterEvent
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					t.Fatalf("bad cluster frame: %v", err)
+				}
+				events[ev.Kind]++
+			}
+		}
+		if sawStatus && events[EventWorkerRegistered] > 0 && events[EventCellCommitted] >= 3 {
+			break
+		}
+	}
+	if !sawStatus {
+		t.Fatal("live stream never delivered a status frame")
+	}
+	if events[EventWorkerRegistered] == 0 || events[EventLeaseGranted] == 0 || events[EventCellCommitted] < 3 {
+		t.Fatalf("live stream events = %v, want registration, grants and 3 commits", events)
+	}
+}
+
+// TestWorkerDrainFlushesSpans covers the satellite fix: an execution cut out
+// from under a cell (context cancelled without Kill) must flush its partial
+// span batch to the coordinator instead of silently dropping it.
+func TestWorkerDrainFlushesSpans(t *testing.T) {
+	tc := startTestCluster(t, testClusterConfig(), func(_ *service.Store, p *service.Pool) {
+		p.SetPlanner(stubPlanner(1, 0))
+	})
+	w := tc.addWorker(1, tracedExecutor(time.Minute))
+
+	job, err := tc.pool.Submit(service.Spec{Experiment: "suite", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "cell in flight on worker", func() bool { return w.Inflight() == 1 })
+
+	// Cut the execution context directly — the "Stop raced past the drain"
+	// path — without setting the killed flag.
+	w.cancel()
+	waitFor(t, 5*time.Second, "span batch flush", func() bool { return w.batchesFlushed.Load() == 1 })
+	waitFor(t, 5*time.Second, "flush merged into job trace", func() bool {
+		tracer, ok := tc.store.Tracer(job.ID)
+		if !ok {
+			return false
+		}
+		for _, sp := range tracer.Snapshot() {
+			if flushed, _, ok := sp.Attr("flushed"); ok && flushed == "true" {
+				return true
+			}
+		}
+		return false
+	})
+	if got := tc.metric("thermserved_cluster_span_flushes_total"); got != 1 {
+		t.Fatalf("span_flushes_total = %v, want 1", got)
+	}
+	// The flushed batch must contain the worker-side run span (partial work).
+	tracer, _ := tc.store.Tracer(job.ID)
+	var sawRun bool
+	for _, sp := range tracer.Snapshot() {
+		if sp.Kind == telemetry.KindRun {
+			sawRun = true
+		}
+	}
+	if !sawRun {
+		t.Fatal("flushed batch is missing the worker's run span")
+	}
+	// Unblock shutdown: cancel the stuck job so the dispatcher stops waiting.
+	tc.store.Cancel(job.ID)
+}
+
+// TestWorkerKillDiscardsSpans: a killed worker counts its dropped batch
+// instead of posting anything.
+func TestWorkerKillDiscardsSpans(t *testing.T) {
+	tc := startTestCluster(t, testClusterConfig(), func(_ *service.Store, p *service.Pool) {
+		p.SetPlanner(stubPlanner(1, 0))
+	})
+	w := tc.addWorker(1, tracedExecutor(time.Minute))
+	job, err := tc.pool.Submit(service.Spec{Experiment: "suite", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "cell in flight on worker", func() bool { return w.Inflight() == 1 })
+	w.Kill()
+	waitFor(t, 5*time.Second, "span batch discard", func() bool { return w.batchesDiscarded.Load() == 1 })
+	if w.batchesFlushed.Load() != 0 {
+		t.Fatal("killed worker flushed a batch")
+	}
+	tc.store.Cancel(job.ID)
+}
+
+// TestClusterRecorderStormDump: a reassignment burst trips the lease-storm
+// anomaly exactly once per window and dumps the event ring; a death burst
+// trips heartbeat-loss.
+func TestClusterRecorderStormDump(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	rec := NewClusterRecorder(dir, time.Second, 3, 2, reg)
+	for i := 0; i < 5; i++ {
+		rec.Record(ClusterEvent{Kind: EventLeaseReassigned, Worker: "w0", Job: "j", Cell: i})
+	}
+	if got, _ := reg.Value("flightrec_alerts_total", telemetry.L("kind", telemetry.AnomalyLeaseStorm)); got != 1 {
+		t.Fatalf("lease_storm alerts = %v, want 1 (cooldown must bound dumping)", got)
+	}
+	for i := 0; i < 2; i++ {
+		rec.Record(ClusterEvent{Kind: EventWorkerDead, Worker: fmt.Sprintf("w%d", i)})
+	}
+	if got, _ := reg.Value("flightrec_alerts_total", telemetry.L("kind", telemetry.AnomalyHeartbeatLoss)); got != 1 {
+		t.Fatalf("heartbeat_loss alerts = %v, want 1", got)
+	}
+
+	var dump struct {
+		Anomalies []telemetry.Anomaly `json:"anomalies"`
+		Events    []ClusterEvent      `json:"events"`
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "flightrec-cluster.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Anomalies) != 2 {
+		t.Fatalf("dump holds %d anomalies, want 2 (storm then heartbeat loss)", len(dump.Anomalies))
+	}
+	if len(dump.Events) != 7 {
+		t.Fatalf("dump holds %d events, want all 7", len(dump.Events))
+	}
+}
+
+// TestClusterRecorderSinceResync: a cursor that lags past ring overwrite
+// resyncs at the oldest retained event without duplicates.
+func TestClusterRecorderSinceResync(t *testing.T) {
+	rec := NewClusterRecorder("", time.Second, -1, -1, telemetry.NewRegistry())
+	_, cursor := rec.Since(0)
+	for i := 0; i < clusterRingCapacity+100; i++ {
+		rec.Record(ClusterEvent{Kind: EventLeaseGranted, Cell: i})
+	}
+	evs, next := rec.Since(cursor)
+	if len(evs) != clusterRingCapacity {
+		t.Fatalf("stale cursor drained %d events, want the %d retained", len(evs), clusterRingCapacity)
+	}
+	if evs[0].Cell != 100 || evs[len(evs)-1].Cell != clusterRingCapacity+99 {
+		t.Fatalf("resync window [%d, %d], want [100, %d]", evs[0].Cell, evs[len(evs)-1].Cell, clusterRingCapacity+99)
+	}
+	if more, _ := rec.Since(next); len(more) != 0 {
+		t.Fatalf("fresh cursor re-delivered %d events", len(more))
+	}
+}
+
+// TestHeartbeatClockOffset: the worker derives a clock-offset estimate from
+// the heartbeat response and reports it back, where the status surface and
+// span import pick it up.
+func TestHeartbeatClockOffset(t *testing.T) {
+	tc := startTestCluster(t, testClusterConfig(), nil)
+	w := tc.addWorker(1, stubExecutor(0))
+	// Same-process clocks are identical, so the estimate must converge to ~0
+	// — but the point is that it was set by the exchange, and reported.
+	waitFor(t, 5*time.Second, "clock offset reported", func() bool {
+		for _, ws := range tc.coord.Membership().Snapshot() {
+			if ws.ID == w.cfg.ID {
+				// Anything within 100ms proves the estimate is the
+				// round-trip midpoint, not garbage.
+				return ws.ClockOffsetUS > -100_000 && ws.ClockOffsetUS < 100_000 && w.clockOffsetUS.Load() != 0
+			}
+		}
+		return false
+	})
+}

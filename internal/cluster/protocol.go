@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 // Wire types for the coordinator ⇄ worker HTTP protocol, all JSON. Durations
@@ -16,7 +17,7 @@ import (
 // Coordinator routes (mounted under /cluster/v1/ on the public listener):
 //
 //	POST /cluster/v1/register   RegisterRequest  → RegisterResponse
-//	POST /cluster/v1/heartbeat  HeartbeatRequest → 204 (404 = re-register)
+//	POST /cluster/v1/heartbeat  HeartbeatRequest → 200 HeartbeatResponse (404 = re-register)
 //	POST /cluster/v1/complete   CompleteRequest  → CompleteResponse
 //	GET  /cluster/v1/workers    WorkersResponse (operator visibility)
 //
@@ -50,11 +51,45 @@ type RegisterResponse struct {
 	LeaseTTLMs int64 `json:"lease_ttl_ms"`
 }
 
-// HeartbeatRequest keeps a registration alive and reports load.
+// HeartbeatRequest keeps a registration alive and reports load. Beyond
+// liveness it is the cluster's telemetry bus: each beat carries a snapshot of
+// the worker's metrics registry (federated into the coordinator's /metrics
+// with a worker label) and the worker's current clock-offset estimate. All
+// additions are optional, so a PR 6 worker heartbeating a PR 7 coordinator —
+// or the reverse — keeps working, just without federation.
 type HeartbeatRequest struct {
 	ID string `json:"id"`
 	// Inflight is the worker's current concurrent cell count.
 	Inflight int `json:"inflight"`
+	// ClockOffsetUS is the worker's estimate of (coordinator clock - worker
+	// clock) in microseconds, measured from previous heartbeat round trips
+	// (offset = coordinator time at response minus the round trip's midpoint).
+	// 0 until the first estimate lands.
+	ClockOffsetUS int64 `json:"clock_offset_us,omitempty"`
+	// Metrics is a snapshot of the worker's metrics registry.
+	Metrics []telemetry.SampleFamily `json:"metrics,omitempty"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat. PR 6 answered 204 with no body;
+// the body is additive — an old worker ignores it, a new worker uses NowUS to
+// estimate its clock offset against the coordinator.
+type HeartbeatResponse struct {
+	// NowUS is the coordinator's wall clock (microseconds since the Unix
+	// epoch) when the heartbeat was handled.
+	NowUS int64 `json:"now_us"`
+}
+
+// TraceContext propagates the coordinator's span context across the dispatch
+// boundary: the worker roots its exec span under (conceptually) ParentSpan of
+// trace Trace, so the span batch it ships back merges into the coordinator's
+// timeline as children of the dispatching cell span.
+type TraceContext struct {
+	// Trace identifies the coordinator-side trace (the job ID — one tracer
+	// per job in the TraceStore).
+	Trace string `json:"trace"`
+	// ParentSpan is the coordinator-side span the remote execution belongs
+	// to (the cell's dispatch span).
+	ParentSpan telemetry.SpanID `json:"parent_span"`
 }
 
 // AssignRequest leases one cell of a job to a worker. The worker replans the
@@ -73,10 +108,15 @@ type AssignRequest struct {
 	// (saved rl.Agent state); the worker adopts it instead of resolving the
 	// checkpoint name against a store it does not have.
 	WarmAgent json.RawMessage `json:"warm_agent,omitempty"`
+	// Trace, when set, asks the worker to trace the execution and ship the
+	// span batch back on the completion. Optional: a PR 6 worker ignores it.
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // CompleteRequest streams one cell result back to the coordinator. Exactly
-// one of Row and Err is meaningful.
+// one of Row and Err is meaningful — unless Flush is set, in which case the
+// request carries no result at all, only a span batch salvaged from a cell
+// whose execution was cut (worker drain, lease expiry).
 type CompleteRequest struct {
 	Worker  string          `json:"worker"`
 	Job     string          `json:"job"`
@@ -84,6 +124,16 @@ type CompleteRequest struct {
 	LeaseID uint64          `json:"lease_id"`
 	Row     json.RawMessage `json:"row,omitempty"`
 	Err     string          `json:"err,omitempty"`
+	// Spans is the worker-side span batch for this cell (timestamps already
+	// shifted into the coordinator's clock by the worker's offset estimate).
+	Spans []telemetry.Span `json:"spans,omitempty"`
+	// ExecUS is the worker-side wall time of the cell execution in
+	// microseconds, for the coordinator's exec-latency histogram.
+	ExecUS int64 `json:"exec_us,omitempty"`
+	// Flush marks a span-only completion: the lease result is not settled
+	// (the cell was cut mid-flight), but the partial trace should still reach
+	// the coordinator's archive.
+	Flush bool `json:"flush,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion. Duplicate is set when the
@@ -101,9 +151,15 @@ type WorkerStatus struct {
 	Inflight int    `json:"inflight"`
 	// Assigned is the lifetime count of cells leased to this worker.
 	Assigned int64 `json:"assigned"`
+	// Completed is the lifetime count of cells this worker finished
+	// (committed a result for, successfully or not).
+	Completed int64 `json:"completed"`
 	// LastBeatMs is milliseconds since the last heartbeat (or
 	// registration).
 	LastBeatMs int64 `json:"last_beat_ms"`
+	// ClockOffsetUS is the worker's last reported clock-offset estimate
+	// (coordinator clock - worker clock), microseconds.
+	ClockOffsetUS int64 `json:"clock_offset_us,omitempty"`
 }
 
 // WorkersResponse lists the live membership.

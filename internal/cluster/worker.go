@@ -23,6 +23,12 @@ import (
 // experiments.Cells; tests and benchmarks substitute stubs.
 type Executor func(ctx context.Context, spec service.Spec, cell int, warmAgent json.RawMessage) (json.RawMessage, error)
 
+// workerSpanBatchCap bounds the span batch shipped back with one completion.
+// The newest spans win — and because the exec root span ends last, the tail
+// always contains it, so the batch stays attachable under the coordinator's
+// dispatch span.
+const workerSpanBatchCap = 512
+
 // WorkerConfig parameterizes a worker node.
 type WorkerConfig struct {
 	// ID uniquely names this worker to the coordinator.
@@ -74,6 +80,15 @@ type Worker struct {
 	inflight atomic.Int64
 	executed atomic.Int64
 	failed   atomic.Int64
+	// clockOffsetUS is the latest estimate of (coordinator clock - worker
+	// clock) in microseconds, from heartbeat round trips. Span batches are
+	// shifted by it before shipping, so the merged trace sits on one clock.
+	clockOffsetUS atomic.Int64
+	// batchesFlushed / batchesDiscarded account for span batches of drained
+	// or killed cells: flushed ones still reach the coordinator's archive via
+	// a Flush completion, discarded ones die with the node.
+	batchesFlushed   atomic.Int64
+	batchesDiscarded atomic.Int64
 	// killed simulates a crash for failure-path tests: heartbeats stop, new
 	// assignments are refused, and in-flight results are dropped instead of
 	// posted — the process keeps running but the node is gone as far as the
@@ -117,6 +132,15 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		func() float64 { return float64(w.executed.Load()) })
 	w.reg.CounterFunc("thermworker_cells_failed_total", "Cells that returned an error.",
 		func() float64 { return float64(w.failed.Load()) })
+	w.reg.CounterFunc("thermworker_span_batches_flushed_total",
+		"Partial span batches of drained cells flushed to the coordinator.",
+		func() float64 { return float64(w.batchesFlushed.Load()) })
+	w.reg.CounterFunc("thermworker_span_batches_discarded_total",
+		"Span batches dropped because the worker was killed or the flush was undeliverable.",
+		func() float64 { return float64(w.batchesDiscarded.Load()) })
+	w.reg.GaugeFunc("thermworker_clock_offset_us",
+		"Estimated coordinator-minus-worker clock offset, microseconds.",
+		func() float64 { return float64(w.clockOffsetUS.Load()) })
 	w.mux.HandleFunc("POST /cluster/v1/assign", w.handleAssign)
 	w.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -222,7 +246,10 @@ func (w *Worker) register(ctx context.Context) error {
 }
 
 // heartbeatLoop keeps the registration alive; a 404 (coordinator restarted
-// and lost the membership) triggers re-registration.
+// and lost the membership) triggers re-registration. Each beat doubles as the
+// telemetry bus (registry snapshot out, coordinator clock back): the response
+// timestamp against the round trip's midpoint yields the clock-offset
+// estimate used to align span batches.
 func (w *Worker) heartbeatLoop() {
 	defer w.wg.Done()
 	for {
@@ -234,14 +261,32 @@ func (w *Worker) heartbeatLoop() {
 			return
 		case <-time.After(every):
 		}
-		hb, err := json.Marshal(HeartbeatRequest{ID: w.cfg.ID, Inflight: int(w.inflight.Load())})
+		hb, err := json.Marshal(HeartbeatRequest{
+			ID:            w.cfg.ID,
+			Inflight:      int(w.inflight.Load()),
+			ClockOffsetUS: w.clockOffsetUS.Load(),
+			Metrics:       w.reg.Sample(),
+		})
 		if err != nil {
 			continue
 		}
+		t0 := time.Now()
 		resp, err := postJSON(w.client, w.cfg.Secret, w.cfg.CoordinatorURL+"/cluster/v1/heartbeat", hb)
+		rtt := time.Since(t0)
 		if err != nil {
 			w.log.Warn("heartbeat failed", "err", err)
 			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			// offset = coordinator's clock at response minus the round trip's
+			// midpoint (the classic NTP-style symmetric-delay assumption; the
+			// error is bounded by rtt/2). A PR 6 coordinator answers 204 with
+			// no body and the estimate simply stays at its zero value.
+			var hr HeartbeatResponse
+			if decErr := json.NewDecoder(resp.Body).Decode(&hr); decErr == nil && hr.NowUS != 0 {
+				mid := t0.UnixMicro() + rtt.Microseconds()/2
+				w.clockOffsetUS.Store(hr.NowUS - mid)
+			}
 		}
 		code := resp.StatusCode
 		resp.Body.Close()
@@ -295,11 +340,32 @@ func (w *Worker) handleAssign(rw http.ResponseWriter, r *http.Request) {
 	rw.WriteHeader(http.StatusAccepted)
 }
 
-// run executes one assignment and posts its completion.
+// run executes one assignment and posts its completion. When the assignment
+// carries a TraceContext, the cell runs under a per-assignment tracer rooted
+// at an exec span — experiments.Cells picks the (tracer, span) pair off the
+// context, so run/window/epoch spans nest under it automatically — and the
+// completed batch ships back on the completion, timestamps pre-shifted into
+// the coordinator's clock.
 func (w *Worker) run(req AssignRequest) {
 	defer w.wg.Done()
-	row, err := w.exec(w.ctx, req.Spec, req.Cell, req.WarmAgent)
-	comp := CompleteRequest{Worker: w.cfg.ID, Job: req.Job, Cell: req.Cell, LeaseID: req.LeaseID}
+	var (
+		tracer   *telemetry.Tracer
+		execSpan telemetry.SpanID
+	)
+	ctx := w.ctx
+	if req.Trace != nil {
+		tracer = telemetry.NewTracer(workerSpanBatchCap)
+		execSpan = tracer.Start(0, telemetry.KindExec,
+			fmt.Sprintf("exec %s/%d", req.Job, req.Cell),
+			telemetry.Str("worker", w.cfg.ID),
+			telemetry.Num("cell", float64(req.Cell)),
+			telemetry.Num("lease_id", float64(req.LeaseID)))
+		ctx = telemetry.ContextWithSpan(ctx, tracer, execSpan)
+	}
+	execStart := time.Now()
+	row, err := w.exec(ctx, req.Spec, req.Cell, req.WarmAgent)
+	execUS := time.Since(execStart).Microseconds()
+	comp := CompleteRequest{Worker: w.cfg.ID, Job: req.Job, Cell: req.Cell, LeaseID: req.LeaseID, ExecUS: execUS}
 	if err != nil {
 		w.failed.Add(1)
 		comp.Err = err.Error()
@@ -307,32 +373,70 @@ func (w *Worker) run(req AssignRequest) {
 		w.executed.Add(1)
 		comp.Row = row
 	}
+	tracer.End(execSpan, telemetry.Bool("error", err != nil))
 	// Free the slot before posting the result: the coordinator releases its
 	// side of the slot the moment the completion lands and may assign the
 	// next cell immediately — decrementing after the post would bounce that
 	// assignment off the capacity backstop.
 	w.inflight.Add(-1)
 	if w.killed.Load() {
-		return // crashed: the result dies with the node
+		// Crashed: the result — and its trace — dies with the node.
+		if tracer != nil {
+			w.batchesDiscarded.Add(1)
+		}
+		return
+	}
+	if tracer != nil {
+		comp.Spans = w.spanBatch(tracer)
 	}
 	if err != nil && w.ctx.Err() != nil {
 		// The execution context was cut out from under the cell (Kill, or a
 		// Stop that raced past the drain), so the error says nothing about
 		// the cell itself. Drop the result: the lease expires and the cell
-		// reassigns, instead of journaling a spurious permanent failure.
+		// reassigns, instead of journaling a spurious permanent failure. The
+		// partial span batch is still worth archiving, though — flush it as a
+		// span-only completion so the trace shows what the drained cell did.
+		if len(comp.Spans) == 0 {
+			return
+		}
+		if w.complete(CompleteRequest{
+			Worker: w.cfg.ID, Job: req.Job, Cell: req.Cell, LeaseID: req.LeaseID,
+			Spans: comp.Spans, Flush: true,
+		}) {
+			w.batchesFlushed.Add(1)
+		} else {
+			w.batchesDiscarded.Add(1)
+		}
 		return
 	}
 	w.complete(comp)
 }
 
+// spanBatch snapshots the assignment's tracer into a bounded, clock-aligned
+// batch: the newest workerSpanBatchCap spans, start times shifted by the
+// current coordinator-clock offset estimate.
+func (w *Worker) spanBatch(tr *telemetry.Tracer) []telemetry.Span {
+	spans := tr.Snapshot()
+	if len(spans) > workerSpanBatchCap {
+		spans = spans[len(spans)-workerSpanBatchCap:]
+	}
+	if off := w.clockOffsetUS.Load(); off != 0 {
+		for i := range spans {
+			spans[i].StartUS += off
+		}
+	}
+	return spans
+}
+
 // complete streams one result to the coordinator, retrying briefly — the
 // lease TTL gives headroom, and an undeliverable result is safe to drop (the
-// lease expires and the cell is reassigned).
-func (w *Worker) complete(comp CompleteRequest) {
+// lease expires and the cell is reassigned). Reports whether the completion
+// was delivered.
+func (w *Worker) complete(comp CompleteRequest) bool {
 	body, err := json.Marshal(comp)
 	if err != nil {
 		w.log.Error("completion not marshalable", "job", comp.Job, "cell", comp.Cell, "err", err)
-		return
+		return false
 	}
 	for attempt := 0; attempt < 3; attempt++ {
 		resp, err := postJSON(w.client, w.cfg.Secret, w.cfg.CoordinatorURL+"/cluster/v1/complete", body)
@@ -343,16 +447,17 @@ func (w *Worker) complete(comp CompleteRequest) {
 			if cr.Duplicate {
 				w.log.Info("result was stale (lease reassigned)", "job", comp.Job, "cell", comp.Cell)
 			}
-			return
+			return true
 		}
 		w.log.Warn("completion undeliverable, retrying", "job", comp.Job, "cell", comp.Cell, "attempt", attempt, "err", err)
 		select {
 		case <-time.After(200 * time.Millisecond):
 		case <-w.ctx.Done():
-			return
+			return false
 		}
 	}
 	w.log.Error("completion dropped after retries; lease will expire and reassign", "job", comp.Job, "cell", comp.Cell)
+	return false
 }
 
 // ExecuteCell is the default executor: rebuild the job's deterministic cell

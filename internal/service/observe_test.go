@@ -495,3 +495,95 @@ func TestTraceStoreEvictionHook(t *testing.T) {
 		t.Errorf("evicted job's trace survived: %v", got)
 	}
 }
+
+// TestServerLiveResyncsAfterOverflow covers the Recorder.Since satellite: an
+// attached SSE client whose cursor goes stale while the bounded decision ring
+// overflows must resync at the oldest retained event — no panic, no
+// duplicated epochs — and still receive the done event.
+func TestServerLiveResyncsAfterOverflow(t *testing.T) {
+	store := NewStore(0)
+	pool := NewPool(store, 1)
+	srv := NewServer(store, pool)
+	srv.livePoll = 10 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// Drive the store directly so the test controls the recorder capacity
+	// and exactly when the ring overflows relative to the client's drains.
+	job := store.Create(Spec{Experiment: "suite", Quick: true}, 1)
+	rec := telemetry.NewRecorder(8)
+	store.BindRecorder(job.ID, rec)
+	if err := store.Start(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	emit := func(from, to int) {
+		for i := from; i <= to; i++ {
+			rec.Record(telemetry.DecisionEvent{Epoch: i, Kind: telemetry.EventDecision})
+		}
+	}
+	emit(1, 4)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var epochs []int
+	var sawDone bool
+	var event string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "epoch":
+			var ev telemetry.DecisionEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("epoch payload: %v", err)
+			}
+			epochs = append(epochs, ev.Epoch)
+			if ev.Epoch == 4 {
+				// Client is caught up at cursor 4; now blow past the ring
+				// capacity (8) so its cursor goes stale, give the poller a
+				// few ticks to drain the retained tail, then finish the job.
+				go func() {
+					emit(5, 104)
+					time.Sleep(50 * time.Millisecond)
+					store.Finish(job.ID, nil, nil, false)
+				}()
+			}
+		case strings.HasPrefix(line, "data: ") && event == "done":
+			sawDone = true
+		}
+		if sawDone {
+			break
+		}
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a done event")
+	}
+	seen := make(map[int]bool)
+	for i, e := range epochs {
+		if seen[e] {
+			t.Fatalf("epoch %d delivered twice", e)
+		}
+		seen[e] = true
+		if i > 0 && e <= epochs[i-1] {
+			t.Fatalf("epochs out of order: %v", epochs)
+		}
+	}
+	for _, e := range []int{1, 2, 3, 4, 104} {
+		if !seen[e] {
+			t.Fatalf("epoch %d missing (got %v)", e, epochs)
+		}
+	}
+	// The resync point is the oldest retained event: 104 total recorded, ring
+	// keeps 8, so nothing between 5 and 96 may appear.
+	for e := range seen {
+		if e > 4 && e < 97 {
+			t.Fatalf("overwritten epoch %d was delivered; client did not resync (got %v)", e, epochs)
+		}
+	}
+}

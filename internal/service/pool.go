@@ -160,6 +160,11 @@ func (p *Pool) SetMaxQueuedCells(n int) { p.maxQueuedCells = int64(n) }
 // metrics; the HTTP layer adds its request metrics to the same registry).
 func (p *Pool) Registry() *telemetry.Registry { return p.reg }
 
+// JobTracer returns the live span tracer of job id (false once the job has
+// been evicted). The cluster coordinator uses it to merge span batches that
+// arrive detached from any active lease (flushes from drained workers).
+func (p *Pool) JobTracer(id string) (*telemetry.Tracer, bool) { return p.store.Tracer(id) }
+
 // Start launches the workers.
 func (p *Pool) Start() {
 	for i := 0; i < p.workers; i++ {
@@ -306,6 +311,11 @@ func (p *Pool) runTask(t task) {
 	p.busy.Add(1)
 	start := time.Now()
 	cellSpan := t.jr.tracer.Start(t.jr.jobSpan, telemetry.KindCell, t.cell.Key)
+	// The cell's first phase is the queue wait it just finished: submission
+	// to pickup, recorded retroactively so the trace timeline starts at
+	// submission rather than at first execution.
+	t.jr.tracer.Record(cellSpan, telemetry.KindPhase, "queue-wait",
+		t.jr.submittedAt.UnixMicro(), start.Sub(t.jr.submittedAt).Microseconds())
 	ctx := telemetry.ContextWithSpan(t.jr.ctx, t.jr.tracer, cellSpan)
 	var row any
 	var ranBy string

@@ -50,7 +50,10 @@ type Server struct {
 	liveStreams *telemetry.Gauge
 	// livePoll is the SSE drain interval (defaultLivePoll; tests shorten it).
 	livePoll time.Duration
-	log      *slog.Logger
+	// appendMetrics hooks extra exposition text onto /metrics (the cluster
+	// coordinator appends the fleet's federated worker series).
+	appendMetrics []func(io.Writer) error
+	log           *slog.Logger
 }
 
 // NewServer wires the handlers over one store/pool pair.
@@ -81,8 +84,22 @@ func NewServer(store *Store, pool *Pool) *Server {
 	metrics := telemetry.Handler(s.reg, telemetry.Default())
 	s.handle("GET /metrics", "/metrics", func(w http.ResponseWriter, r *http.Request) {
 		metrics.ServeHTTP(w, r)
+		for _, fn := range s.appendMetrics {
+			if err := fn(w); err != nil {
+				return
+			}
+		}
 	})
 	return s
+}
+
+// AppendMetrics registers fn to append extra Prometheus text after the
+// server's own /metrics exposition — the cluster coordinator uses it to
+// publish the fleet's federated, per-worker-labeled series from one scrape
+// endpoint. Call before serving traffic; fn must emit complete families whose
+// names do not collide with the local registries.
+func (s *Server) AppendMetrics(fn func(io.Writer) error) {
+	s.appendMetrics = append(s.appendMetrics, fn)
 }
 
 // ServeHTTP implements http.Handler.

@@ -19,6 +19,12 @@ const (
 	// AnomalyStall: a running job made no epoch or cell progress within the
 	// watchdog deadline.
 	AnomalyStall = "stall"
+	// AnomalyLeaseStorm: cluster mode saw a burst of lease reassignments —
+	// work is bouncing between workers instead of completing.
+	AnomalyLeaseStorm = "lease_storm"
+	// AnomalyHeartbeatLoss: several workers were declared dead within a short
+	// window — a network partition or a fleet-wide failure, not one bad node.
+	AnomalyHeartbeatLoss = "heartbeat_loss"
 )
 
 // Anomaly describes one detected fault.
@@ -168,14 +174,15 @@ func (f *FlightRecorder) dumpLocked() {
 		}
 		dump.Events = evs
 	}
-	if err := writeFileAtomic(path, dump); err != nil {
+	if err := WriteFileAtomic(path, dump); err != nil {
 		f.reg.Counter("flightrec_dump_errors_total", "Flight-recorder dump files that failed to write.").Inc()
 	}
 }
 
-// writeFileAtomic marshals v and renames a temp file into place, so readers
-// never observe a half-written dump.
-func writeFileAtomic(path string, v any) error {
+// WriteFileAtomic marshals v as indented JSON and renames a temp file into
+// place, so readers never observe a half-written dump. Shared by the per-job
+// flight recorder and the cluster-level black box in internal/cluster.
+func WriteFileAtomic(path string, v any) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}

@@ -25,6 +25,17 @@ const (
 	KindEpoch  = "epoch"
 )
 
+// Cluster-mode span kinds. A phase span is one coordinator-side stage of a
+// cell's lifetime (queue-wait, commit), a dispatch span is one lease attempt
+// (grant → result or expiry), and an exec span is the remote root under which
+// a worker node's run/window/epoch spans nest before they are merged back
+// into the coordinator's trace.
+const (
+	KindPhase    = "phase"
+	KindDispatch = "dispatch"
+	KindExec     = "exec"
+)
+
 // Attr is one key/value attribute attached to a span: either a string or a
 // number (a union rather than `any`, so recording an attribute never boxes).
 type Attr struct {
@@ -99,25 +110,30 @@ type Tracer struct {
 	// tests.
 	now func() int64
 
-	mu      sync.Mutex
-	done    []Span // ring of completed spans
-	next    int
-	full    bool
-	dropped int64
-	lastID  SpanID
-	active  map[SpanID]*Span
+	mu       sync.Mutex
+	capacity int    // ring bound; the slice below grows lazily toward it
+	done     []Span // ring of completed spans
+	next     int
+	full     bool
+	dropped  int64
+	lastID   SpanID
+	active   map[SpanID]*Span
 }
 
 // NewTracer builds a tracer keeping the newest capacity completed spans
-// (DefaultTracerCapacity when capacity <= 0).
+// (DefaultTracerCapacity when capacity <= 0). The ring storage grows on
+// demand rather than being preallocated: workers build one tracer per
+// dispatched cell, and most cells complete with a handful of spans, so an
+// up-front capacity-sized slice would dominate the dispatch path's
+// allocations.
 func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTracerCapacity
 	}
 	return &Tracer{
-		now:    func() int64 { return time.Now().UnixMicro() },
-		done:   make([]Span, 0, capacity),
-		active: make(map[SpanID]*Span),
+		now:      func() int64 { return time.Now().UnixMicro() },
+		capacity: capacity,
+		active:   make(map[SpanID]*Span),
 	}
 }
 
@@ -212,7 +228,7 @@ func (t *Tracer) Record(parent SpanID, kind, name string, startUS, durUS int64, 
 
 // commitLocked appends one completed span to the ring. Callers hold t.mu.
 func (t *Tracer) commitLocked(sp Span) {
-	if !t.full && len(t.done) < cap(t.done) {
+	if !t.full && len(t.done) < t.capacity {
 		t.done = append(t.done, sp)
 		return
 	}
@@ -277,6 +293,42 @@ func (t *Tracer) Snapshot() []Span {
 		return open[i].ID < open[j].ID
 	})
 	return append(out, open...)
+}
+
+// Import merges a span batch produced by another tracer (typically a remote
+// node's snapshot) into this one: every imported span gets a fresh local ID,
+// parent links inside the batch are remapped, and spans whose parent is not
+// in the batch (the batch's roots) are re-parented under parent and gain the
+// given attributes (e.g. the node name and clock offset). The batch's
+// timestamps are taken as-is — senders align clocks before shipping. Returns
+// how many spans were imported.
+func (t *Tracer) Import(parent SpanID, spans []Span, rootAttrs ...Attr) int {
+	if t == nil || len(spans) == 0 {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idmap := make(map[SpanID]SpanID, len(spans))
+	for i := range spans {
+		t.lastID++
+		idmap[spans[i].ID] = t.lastID
+	}
+	for i := range spans {
+		sp := spans[i] // copy; the caller's batch stays untouched
+		sp.ID = idmap[sp.ID]
+		if mapped, ok := idmap[sp.Parent]; ok && sp.Parent != 0 {
+			sp.Parent = mapped
+		} else {
+			sp.Parent = parent
+			if len(rootAttrs) > 0 {
+				attrs := make([]Attr, 0, len(sp.Attrs)+len(rootAttrs))
+				attrs = append(attrs, sp.Attrs...)
+				sp.Attrs = append(attrs, rootAttrs...)
+			}
+		}
+		t.commitLocked(sp)
+	}
+	return len(spans)
 }
 
 // spanCtxKey carries a (tracer, span) pair through a context.
