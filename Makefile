@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt-check vet test race recover-test cluster-test cluster-obs-test bench bench-smoke bench-compare bench-compare-smoke bench-dispatch-gate ci
+.PHONY: all build fmt-check vet test race recover-test cluster-test cluster-obs-test tournament-test bench bench-smoke bench-compare bench-compare-smoke bench-dispatch-gate bench-distilled-gate ci
 
 # Committed benchmark baseline that bench-compare diffs against.
 BENCH_BASELINE ?= BENCH_pr4.json
@@ -45,6 +45,13 @@ cluster-obs-test:
 recover-test:
 	$(GO) test -race -run 'TestWAL|TestJournal|TestCheckpoint|TestRecovery|TestCrashRestart|TestJournaled|TestWarmStart' ./internal/durable ./internal/service
 
+# Tournament suite under the race detector: campaign-spec golden errors,
+# two-run and standalone-vs-sharded leaderboard bit-identity, the full
+# POST /v1/campaigns → leaderboard HTTP flow, and journal recovery of
+# finished tournaments.
+tournament-test:
+	$(GO) test -race -run 'TestTournament|TestParseSpec|TestPlanExpansion|TestLeaderboard|TestApplyWarmPayload' ./internal/campaign ./internal/service ./internal/cluster
+
 # Full benchmark sweep (quick-mode experiment regeneration plus the
 # micro-benchmarks of every package). The human-readable benchstat text is
 # archived under results/ so runs are comparable across commits, and the same
@@ -55,7 +62,7 @@ recover-test:
 bench:
 	@mkdir -p results
 	$(GO) test -bench . -benchmem -count=1 -run '^$$' ./... | tee results/bench.txt
-	$(GO) run ./cmd/benchjson -compare BENCH_pr6.json -report-only -o BENCH_pr7.json results/bench.txt
+	$(GO) run ./cmd/benchjson -compare BENCH_pr7.json -report-only -o BENCH_pr8.json results/bench.txt
 
 # Benchmark smoke: every benchmark compiles and survives one iteration.
 bench-smoke:
@@ -89,4 +96,13 @@ bench-dispatch-gate:
 	$(GO) test -bench 'BenchmarkClusterDispatch$$' -benchmem -count=1 -run '^$$' ./internal/cluster | tee results/bench-dispatch.txt
 	$(GO) run ./cmd/benchjson -only 'BenchmarkClusterDispatch' -threshold 0.05 -gate-ns -compare BENCH_pr6.json results/bench-dispatch.txt
 
-ci: build fmt-check vet race cluster-test cluster-obs-test bench-smoke bench-compare-smoke
+# Distillation payoff gate: the distilled policy's decision epoch must stay
+# within 50% ns/op of the committed PR 8 baseline (~3ns — a table lookup;
+# the Q-table learners sit ~50x above it). Like bench-dispatch-gate, a
+# wall-clock gate belongs on a quiet machine, not in ci.
+bench-distilled-gate:
+	@mkdir -p results
+	$(GO) test -bench 'BenchmarkDecisionEpoch$$' -benchmem -count=1 -run '^$$' ./internal/policy | tee results/bench-distilled.txt
+	$(GO) run ./cmd/benchjson -only 'BenchmarkDecisionEpoch/distilled' -threshold 0.50 -gate-ns -compare BENCH_pr8.json results/bench-distilled.txt
+
+ci: build fmt-check vet race cluster-test cluster-obs-test tournament-test bench-smoke bench-compare-smoke

@@ -14,14 +14,16 @@
 // Endpoints:
 //
 //	POST   /v1/jobs             {"experiment":"suite","quick":true,"seed":7}
+//	POST   /v1/campaigns        tournament document (experiments.json) as body
 //	GET    /v1/jobs             list live jobs
 //	GET    /v1/jobs/{id}        status + progress
 //	GET    /v1/jobs/{id}/result rows as JSON
+//	GET    /v1/jobs/{id}/leaderboard tournament ranking (?format=csv)
 //	GET    /v1/jobs/{id}/events RL decision trace as JSONL
 //	GET    /v1/jobs/{id}/live   SSE stream of decision epochs while running
 //	GET    /v1/jobs/{id}/trace  span trace (?format=chrome for Perfetto, jsonl)
 //	DELETE /v1/jobs/{id}        cancel
-//	GET    /v1/checkpoints      Q-table checkpoints (POST/GET/DELETE .../{name})
+//	GET    /v1/checkpoints      policy checkpoints (POST/GET/DELETE .../{name})
 //	GET    /v1/cluster/status   cluster membership/lease/throughput snapshot (coordinator)
 //	GET    /v1/cluster/live     SSE stream of status + cluster events (coordinator)
 //	GET    /healthz             liveness

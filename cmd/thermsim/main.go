@@ -24,7 +24,16 @@
 // -save-agent FILE persists the RL agent's learned state (live Q-table,
 // exploration-end snapshot, learning rate) from the last proposed-policy
 // run; -load-agent FILE warm-starts every proposed-policy run from such a
-// file instead of a zero Q-table.
+// file instead of a zero Q-table. The file may hold any registered policy's
+// checkpoint — non-proposed kinds are only routable inside a tournament.
+//
+// -campaign FILE runs a declarative tournament instead of the paper
+// experiments: FILE is an experiments.json document (policies x workloads x
+// seeds x repeats, see the campaign package) and the output is a per-policy
+// leaderboard — aligned text by default, machine-readable with -json, plus
+// a deterministic CSV file with -leaderboard-csv. The identical document
+// submitted to thermserved's POST /v1/campaigns produces bit-identical
+// rows and leaderboard.
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/rl"
 	"repro/internal/telemetry"
@@ -54,9 +64,12 @@ func main() {
 	eventsOut := flag.String("events", "", "write the RL decision-event trace as JSONL to this file (\"-\" = stderr)")
 	traceOut := flag.String("trace", "", "write the run/window/epoch span trace to this file (.jsonl = archival JSONL, anything else = Chrome trace-event JSON for Perfetto)")
 	saveAgent := flag.String("save-agent", "", "write the RL agent state of the last proposed-policy run to this file")
-	loadAgent := flag.String("load-agent", "", "warm-start proposed-policy runs from RL agent state in this file")
+	loadAgent := flag.String("load-agent", "", "warm-start runs from policy checkpoint state in this file")
+	campaignFile := flag.String("campaign", "", "run the declarative tournament in this experiments.json document instead of paper experiments")
+	leaderboardCSV := flag.String("leaderboard-csv", "", "with -campaign: also write the leaderboard as deterministic CSV to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-quick] [-repeats N] [-events FILE] <experiment>...|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "       %s -campaign experiments.json [-leaderboard-csv FILE]\n", os.Args[0])
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.ExperimentNames())
 		flag.PrintDefaults()
 	}
@@ -76,12 +89,17 @@ func main() {
 		return
 	}
 	ids := flag.Args()
-	if len(ids) == 0 {
-		flag.Usage()
+	if *campaignFile == "" {
+		if len(ids) == 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if len(ids) == 1 && ids[0] == "all" {
+			ids = experiments.ExperimentNames()
+		}
+	} else if len(ids) > 0 {
+		fmt.Fprintln(os.Stderr, "thermsim: -campaign replaces the positional experiment list")
 		os.Exit(2)
-	}
-	if len(ids) == 1 && ids[0] == "all" {
-		ids = experiments.ExperimentNames()
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -100,12 +118,21 @@ func main() {
 	}
 
 	if *loadAgent != "" {
-		sa, err := loadAgentFile(*loadAgent)
+		payload, err := os.ReadFile(*loadAgent)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "thermsim:", err)
+			fmt.Fprintln(os.Stderr, "thermsim: -load-agent:", err)
 			os.Exit(1)
 		}
-		cfg.WarmStart = sa.WarmTable()
+		// ApplyWarmPayload routes the checkpoint by kind, with typed
+		// dimension validation for the proposed controller's tables.
+		warmFor := "cli"
+		if *campaignFile != "" {
+			warmFor = campaign.Experiment
+		}
+		if err := campaign.ApplyWarmPayload(&cfg, warmFor, payload); err != nil {
+			fmt.Fprintln(os.Stderr, "thermsim: -load-agent:", err)
+			os.Exit(1)
+		}
 	}
 	var lastAgent *rl.Agent
 	if *saveAgent != "" {
@@ -116,6 +143,20 @@ func main() {
 	// finishing a potentially hour-long sweep.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *campaignFile != "" {
+		doc, err := os.ReadFile(*campaignFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thermsim: -campaign:", err)
+			os.Exit(1)
+		}
+		cfg.CampaignJSON = doc
+		runCampaign(ctx, cfg, *asJSON, *leaderboardCSV)
+		dumpEvents(recorder, *eventsOut)
+		dumpTrace(tracer, *traceOut)
+		saveAgentFile(lastAgent, *saveAgent)
+		return
+	}
 
 	if *asJSON {
 		all := map[string]any{}
@@ -153,14 +194,67 @@ func main() {
 	saveAgentFile(lastAgent, *saveAgent)
 }
 
-// loadAgentFile parses saved RL agent state for -load-agent.
-func loadAgentFile(path string) (*rl.SavedAgent, error) {
-	f, err := os.Open(path)
+// runCampaign expands the tournament document on cfg.CampaignJSON, runs its
+// cells sequentially and prints the per-policy leaderboard: aligned text (or
+// -json), plus a deterministic CSV surface when csvPath is set. The rows are
+// bit-identical to the same document submitted to thermserved, standalone or
+// clustered — that equivalence is what makes the CSV comparable across runs.
+func runCampaign(ctx context.Context, cfg experiments.Config, asJSON bool, csvPath string) {
+	spec, err := campaign.ParseSpec(cfg.CampaignJSON)
 	if err != nil {
-		return nil, err
+		fmt.Fprintln(os.Stderr, "thermsim:", err)
+		os.Exit(1)
 	}
-	defer f.Close()
-	return rl.DecodeAgent(f)
+	cells, assemble, err := campaign.Cells(cfg, campaign.Experiment)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim:", err)
+		os.Exit(1)
+	}
+	rows := make([]any, len(cells))
+	for i, cell := range cells {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "thermsim: interrupted after %d/%d cells\n", i, len(cells))
+			os.Exit(1)
+		}
+		start := time.Now()
+		row, err := cell.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "thermsim: %s: %v\n", cell.Key, err)
+			os.Exit(1)
+		}
+		rows[i] = row
+		slog.Info("cell done", "cell", cell.Key, "n", i+1, "of", len(cells),
+			"wall", time.Since(start).Round(time.Millisecond))
+	}
+	trows := assemble(rows).([]campaign.Row)
+	entries := campaign.Leaderboard(trows)
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(map[string]any{
+			"name": spec.Name, "leaderboard": entries, "rows": trows,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "thermsim:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(campaign.FormatLeaderboard(spec.Name, entries))
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thermsim: -leaderboard-csv:", err)
+			os.Exit(1)
+		}
+		err = campaign.WriteCSV(f, entries)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thermsim: -leaderboard-csv:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // saveAgentFile persists the last proposed-policy run's agent for

@@ -1,0 +1,167 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+const testDoc = `{
+	"name": "determinism",
+	"policies": ["linux-ondemand", "distilled"],
+	"workloads": ["mpegdec"],
+	"seeds": [1, 2]
+}`
+
+// runTournament expands and executes a document sequentially, returning the
+// typed rows.
+func runTournament(t *testing.T, doc []byte) []Row {
+	t.Helper()
+	cfg := experiments.DefaultConfig()
+	cfg.CampaignJSON = doc
+	cells, assemble, err := Cells(cfg, Experiment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]any, len(cells))
+	for i, c := range cells {
+		row, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", c.Key, err)
+		}
+		raw[i] = row
+	}
+	return assemble(raw).([]Row)
+}
+
+// TestTournamentDeterminism runs the same document twice and demands
+// bit-identical rows and leaderboard CSV — the property that makes
+// standalone, pooled and sharded tournaments comparable.
+func TestTournamentDeterminism(t *testing.T) {
+	r1 := runTournament(t, []byte(testDoc))
+	r2 := runTournament(t, []byte(testDoc))
+	j1, _ := json.Marshal(r1)
+	j2, _ := json.Marshal(r2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("rows differ across identical runs:\n%s\n%s", j1, j2)
+	}
+	var csv1, csv2 bytes.Buffer
+	if err := WriteCSV(&csv1, Leaderboard(r1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&csv2, Leaderboard(r2)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv1.Bytes(), csv2.Bytes()) {
+		t.Fatalf("leaderboard CSV differs:\n%s\n%s", csv1.String(), csv2.String())
+	}
+}
+
+// TestTournamentRowsCarryMetrics sanity-checks the row surface: learner rows
+// report rewards and decision epochs, baseline rows do not, and every row
+// carries the reliability metrics the leaderboard ranks by.
+func TestTournamentRowsCarryMetrics(t *testing.T) {
+	rows := runTournament(t, []byte(testDoc))
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.CombinedMTTF <= 0 || r.PeakTempC <= 0 || r.ExecTimeS <= 0 {
+			t.Errorf("row %+v missing metrics", r)
+		}
+		switch r.Policy {
+		case "linux-ondemand":
+			if r.DecisionEpochs != 0 || r.MeanReward != 0 {
+				t.Errorf("baseline row reports learner stats: %+v", r)
+			}
+		case "distilled":
+			if r.DecisionEpochs == 0 {
+				t.Errorf("learner row has no decision epochs: %+v", r)
+			}
+		}
+	}
+}
+
+// TestRowJSONRoundTrip pins the journal/cluster serialization: a row decoded
+// from its JSON is the row (shortest-form float64 encoding is exact).
+func TestRowJSONRoundTrip(t *testing.T) {
+	rows := runTournament(t, []byte(`{"policies":["linux-ondemand"],"workloads":["mpegdec"]}`))
+	data, err := json.Marshal(rows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRow(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(Row) != rows[0] {
+		t.Fatalf("round trip changed the row:\n%+v\n%+v", got, rows[0])
+	}
+}
+
+// TestCellsDelegatesNonTournament: every other experiment id still plans
+// through experiments.Cells.
+func TestCellsDelegatesNonTournament(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	cfg.Quick = true
+	cells, _, err := Cells(cfg, "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("table2 planned no cells")
+	}
+	if _, _, err := Cells(cfg, "no-such-experiment"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestCellsRejectsBadDocument: a tournament with an invalid document fails at
+// planning time, before any cell runs.
+func TestCellsRejectsBadDocument(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	cfg.CampaignJSON = []byte(`{"policies":[],"workloads":[]}`)
+	if _, _, err := Cells(cfg, Experiment); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestLeaderboardRanking(t *testing.T) {
+	rows := []Row{
+		{Policy: "a", CombinedMTTF: 1, MeanReward: 0.5, DecisionEpochs: 10},
+		{Policy: "b", CombinedMTTF: 3},
+		{Policy: "a", CombinedMTTF: 2, MeanReward: 0.7, DecisionEpochs: 20},
+	}
+	entries := Leaderboard(rows)
+	if len(entries) != 2 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	if entries[0].Policy != "b" || entries[1].Policy != "a" {
+		t.Fatalf("ranking %v", entries)
+	}
+	a := entries[1]
+	if a.Runs != 2 || a.CombinedMTTF != 1.5 || a.MeanReward != 0.6 || a.MeanDecisionEpochs != 15 {
+		t.Errorf("aggregation wrong: %+v", a)
+	}
+}
+
+func TestApplyWarmPayloadRejectsForeignKindOutsideTournament(t *testing.T) {
+	payload := []byte(`{"policy_kind":"distilled","states":12,"actions":12,"best":[0,0,0,0,0,0,0,0,0,0,0,0]}`)
+	cfg := experiments.DefaultConfig()
+	if err := ApplyWarmPayload(&cfg, "table2", payload); err == nil {
+		t.Fatal("distilled checkpoint accepted for a non-tournament experiment")
+	}
+	cfg = experiments.DefaultConfig()
+	if err := ApplyWarmPayload(&cfg, Experiment, payload); err != nil {
+		t.Fatalf("tournament rejected a routable checkpoint: %v", err)
+	}
+	if !bytes.Equal(cfg.WarmCheckpoint, payload) {
+		t.Error("payload not threaded onto cfg.WarmCheckpoint")
+	}
+	if cfg.WarmStart != nil {
+		t.Error("distilled payload decoded into a proposed warm-start table")
+	}
+}

@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Entry is one policy's aggregated tournament standing: per-column means
+// over the policy's runs.
+type Entry struct {
+	Policy             string  `json:"policy"`
+	Runs               int     `json:"runs"`
+	CombinedMTTF       float64 `json:"combined_mttf_y"`
+	CyclingMTTF        float64 `json:"cycling_mttf_y"`
+	AgingMTTF          float64 `json:"aging_mttf_y"`
+	PeakTempC          float64 `json:"peak_temp_c"`
+	AvgTempC           float64 `json:"avg_temp_c"`
+	ExecTimeS          float64 `json:"exec_time_s"`
+	MeanReward         float64 `json:"mean_reward"`
+	MeanDecisionEpochs float64 `json:"mean_decision_epochs"`
+}
+
+// Leaderboard aggregates tournament rows into per-policy entries, ranked by
+// combined MTTF descending (ties break toward the policy name). Sums
+// accumulate in row order and rows arrive in cell order however the
+// tournament executed, so the leaderboard is bit-identical across standalone,
+// pooled and sharded runs of the same spec.
+func Leaderboard(rows []Row) []Entry {
+	idx := map[string]int{}
+	var entries []Entry
+	for _, r := range rows {
+		i, ok := idx[r.Policy]
+		if !ok {
+			i = len(entries)
+			idx[r.Policy] = i
+			entries = append(entries, Entry{Policy: r.Policy})
+		}
+		e := &entries[i]
+		e.Runs++
+		e.CombinedMTTF += r.CombinedMTTF
+		e.CyclingMTTF += r.CyclingMTTF
+		e.AgingMTTF += r.AgingMTTF
+		e.PeakTempC += r.PeakTempC
+		e.AvgTempC += r.AvgTempC
+		e.ExecTimeS += r.ExecTimeS
+		e.MeanReward += r.MeanReward
+		e.MeanDecisionEpochs += float64(r.DecisionEpochs)
+	}
+	for i := range entries {
+		n := float64(entries[i].Runs)
+		entries[i].CombinedMTTF /= n
+		entries[i].CyclingMTTF /= n
+		entries[i].AgingMTTF /= n
+		entries[i].PeakTempC /= n
+		entries[i].AvgTempC /= n
+		entries[i].ExecTimeS /= n
+		entries[i].MeanReward /= n
+		entries[i].MeanDecisionEpochs /= n
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].CombinedMTTF != entries[j].CombinedMTTF {
+			return entries[i].CombinedMTTF > entries[j].CombinedMTTF
+		}
+		return entries[i].Policy < entries[j].Policy
+	})
+	return entries
+}
+
+// csvHeader is the leaderboard CSV column order.
+var csvHeader = []string{
+	"policy", "runs", "combined_mttf_y", "cycling_mttf_y", "aging_mttf_y",
+	"peak_temp_c", "avg_temp_c", "exec_time_s", "mean_reward", "mean_decision_epochs",
+}
+
+// WriteCSV renders the leaderboard as CSV. Floats use Go's shortest exact
+// representation, so equal inputs produce byte-equal output.
+func WriteCSV(w io.Writer, entries []Entry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		rec := []string{
+			e.Policy,
+			strconv.Itoa(e.Runs),
+			fmtFloat(e.CombinedMTTF),
+			fmtFloat(e.CyclingMTTF),
+			fmtFloat(e.AgingMTTF),
+			fmtFloat(e.PeakTempC),
+			fmtFloat(e.AvgTempC),
+			fmtFloat(e.ExecTimeS),
+			fmtFloat(e.MeanReward),
+			fmtFloat(e.MeanDecisionEpochs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// fmtFloat is the deterministic float rendering of the CSV surface: the
+// shortest representation that round-trips exactly.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// FormatLeaderboard renders an aligned human-readable leaderboard table.
+func FormatLeaderboard(name string, entries []Entry) string {
+	var sb strings.Builder
+	if name != "" {
+		fmt.Fprintf(&sb, "tournament %s\n", name)
+	}
+	tw := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tpolicy\truns\tMTTF(y)\tcycling\taging\tpeak C\tavg C\texec s\treward\tepochs")
+	for i, e := range entries {
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%.2f\t%.2f\t%.2f\t%.1f\t%.1f\t%.1f\t%+.3f\t%.0f\n",
+			i+1, e.Policy, e.Runs, e.CombinedMTTF, e.CyclingMTTF, e.AgingMTTF,
+			e.PeakTempC, e.AvgTempC, e.ExecTimeS, e.MeanReward, e.MeanDecisionEpochs)
+	}
+	tw.Flush()
+	return sb.String()
+}

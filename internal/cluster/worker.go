@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -12,15 +11,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
-	"repro/internal/rl"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
 
 // Executor runs one cell of a job spec on a worker node and returns the
 // row's JSON. The default, ExecuteCell, replans the spec with
-// experiments.Cells; tests and benchmarks substitute stubs.
+// campaign.Cells; tests and benchmarks substitute stubs.
 type Executor func(ctx context.Context, spec service.Spec, cell int, warmAgent json.RawMessage) (json.RawMessage, error)
 
 // workerSpanBatchCap bounds the span batch shipped back with one completion.
@@ -464,19 +463,18 @@ func (w *Worker) complete(comp CompleteRequest) bool {
 // plan from its spec and run one cell. Cells are explicitly seeded, so the
 // row is bit-identical to what the coordinator would compute in standalone
 // mode; the JSON round trip is exact (Go encodes float64 in shortest form).
+// The planner and warm-start routing are the same code the coordinator's pool
+// runs (campaign.Cells / campaign.ApplyWarmPayload), so tournament cells and
+// non-proposed checkpoint kinds shard identically.
 func ExecuteCell(ctx context.Context, spec service.Spec, cell int, warmAgent json.RawMessage) (json.RawMessage, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	cfg := spec.Config()
-	if len(warmAgent) > 0 {
-		sa, err := rl.DecodeAgent(bytes.NewReader(warmAgent))
-		if err != nil {
-			return nil, fmt.Errorf("cluster: bad warm-start agent payload: %w", err)
-		}
-		cfg.WarmStart = sa.WarmTable()
+	if err := campaign.ApplyWarmPayload(&cfg, spec.Experiment, warmAgent); err != nil {
+		return nil, fmt.Errorf("cluster: bad warm-start agent payload: %w", err)
 	}
-	cells, _, err := experiments.Cells(cfg, spec.Experiment)
+	cells, _, err := campaign.Cells(cfg, spec.Experiment)
 	if err != nil {
 		return nil, err
 	}

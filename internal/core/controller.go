@@ -185,6 +185,10 @@ type Controller struct {
 	// localEpochs counts decision epochs of THIS run (unlike
 	// agent.Epochs(), which survives SaveState/LoadState).
 	localEpochs int
+	// rewardSum/rewardN accumulate the granted Eq. 8 rewards of this run,
+	// so experiment rows can report a mean reward per policy.
+	rewardSum float64
+	rewardN   int
 	// warmStarted marks an agent seeded from a persisted checkpoint, so
 	// the first recorded epoch carries the warm_start event kind (the
 	// observable proof a resumed deployment kept its policy).
@@ -370,6 +374,13 @@ func (c *Controller) ConvergedEpoch() int { return c.convergedEpoch }
 // paper's Fig. 8 notion of training iterations.
 func (c *Controller) LastFillEpoch() int { return c.lastFillEpoch }
 
+// RewardStats returns the sum and count of Eq. 8 rewards granted during this
+// run, for aggregate per-policy reward reporting.
+func (c *Controller) RewardStats() (sum float64, count int) { return c.rewardSum, c.rewardN }
+
+// DecisionEpochs returns the number of decision epochs of THIS run.
+func (c *Controller) DecisionEpochs() int { return c.localEpochs }
+
 // EpochSeconds returns the decision epoch length in seconds.
 func (c *Controller) EpochSeconds() float64 {
 	return c.cfg.SamplingIntervalS * float64(c.cfg.EpochSamples)
@@ -495,6 +506,8 @@ func (c *Controller) endEpoch() {
 	reward := math.NaN()
 	if c.havePrev {
 		reward = c.cfg.Reward.Reward(m, c.cfg.States, c.p.Workload().PerfTarget())
+		c.rewardSum += reward
+		c.rewardN++
 		if !c.cfg.UseSARSA {
 			c.agent.Observe(c.prevState, c.prevAction, reward, state)
 		}

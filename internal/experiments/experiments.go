@@ -12,7 +12,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/core"
-	"repro/internal/governor"
+	"repro/internal/policy"
 	"repro/internal/rl"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -40,6 +40,19 @@ type Config struct {
 	// WarmStartAlpha is the learning rate adopted alongside WarmStart;
 	// <= 0 selects the agent's AlphaExp.
 	WarmStartAlpha float64
+	// CampaignJSON, when non-empty, is the declarative tournament document
+	// (the experiments.json spec) for the campaign planner. It is opaque
+	// bytes here so the fixed planner signature func(Config, id) can carry
+	// a tournament through every execution path — standalone CLI, pooled
+	// submission, journal-recovery replanning and cluster cell dispatch —
+	// without this package depending on the campaign engine.
+	CampaignJSON []byte
+	// WarmCheckpoint is the raw resolved warm-start checkpoint payload, for
+	// policies whose learning state is not a proposed-controller Q-table
+	// (the campaign engine routes it to the registered policy that owns its
+	// kind). WarmStart above remains the decoded table for the proposed
+	// controller.
+	WarmCheckpoint []byte
 }
 
 // DefaultConfig returns the full-fidelity configuration.
@@ -71,29 +84,11 @@ const (
 	PolicyProposed       = "proposed"
 )
 
-// NewPolicy builds a fresh policy instance by name. Policies are stateful,
-// so a new instance is required per run.
+// NewPolicy builds a fresh policy instance by name from the policy registry
+// (which holds the table policies above plus the zoo's additional learners).
+// Policies are stateful, so a new instance is required per run.
 func NewPolicy(name string) (sim.Policy, error) {
-	switch name {
-	case PolicyLinuxOndemand:
-		return sim.LinuxPolicy{Kind: governor.Ondemand}, nil
-	case PolicyLinuxPowersave:
-		return sim.LinuxPolicy{Kind: governor.Powersave}, nil
-	case PolicyLinux24:
-		return sim.LinuxPolicy{Kind: governor.Userspace, Level: 2, Label: PolicyLinux24}, nil
-	case PolicyLinux34:
-		return sim.LinuxPolicy{Kind: governor.Userspace, Level: 4, Label: PolicyLinux34}, nil
-	case PolicyGe:
-		return &sim.GePolicy{}, nil
-	case PolicyGeModified:
-		return &sim.GePolicy{Modified: true}, nil
-	case PolicyThrottle:
-		return sim.DefaultThrottlePolicy(), nil
-	case PolicyProposed:
-		return &sim.ProposedPolicy{}, nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown policy %q", name)
-	}
+	return policy.New(name, policy.Options{})
 }
 
 // newPolicy builds the policy for one run, threading the config's RL base

@@ -1,0 +1,262 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/rl"
+)
+
+// DecisionTable is the compact artifact of offline distillation: one best
+// action per state, the argmax of a converged teacher Q-table. Deciding from
+// it is a single slice index — the near-zero decision-epoch cost that makes
+// imitation-learned policies attractive on constrained managers
+// (arXiv 2206.05459).
+type DecisionTable struct {
+	// States and Actions record the table's dimensions for validation.
+	States, Actions int
+	// Best[s] is the action index for state s.
+	Best []int
+}
+
+// DistillQTable collapses a Q-table to its greedy policy.
+func DistillQTable(q *rl.QTable) *DecisionTable {
+	t := &DecisionTable{
+		States:  q.NumStates(),
+		Actions: q.NumActions(),
+		Best:    make([]int, q.NumStates()),
+	}
+	for s := range t.Best {
+		t.Best[s] = q.BestAction(s)
+	}
+	return t
+}
+
+// Lookup returns the table's action for a state.
+func (t *DecisionTable) Lookup(state int) int { return t.Best[state] }
+
+// decisionTableJSON is the serialized form of a distilled checkpoint.
+type decisionTableJSON struct {
+	Kind    string `json:"policy_kind"`
+	States  int    `json:"states"`
+	Actions int    `json:"actions"`
+	Best    []int  `json:"best"`
+}
+
+// EncodeDistilled serializes a decision table as a distilled-kind checkpoint
+// payload DecodeCheckpoint understands.
+func EncodeDistilled(t *DecisionTable) ([]byte, error) {
+	if t == nil || len(t.Best) != t.States || t.States <= 0 || t.Actions <= 0 {
+		return nil, fmt.Errorf("policy: encode distilled: malformed table")
+	}
+	return json.MarshalIndent(decisionTableJSON{
+		Kind: KindDistilled, States: t.States, Actions: t.Actions, Best: t.Best,
+	}, "", " ")
+}
+
+// decodeDecisionTable parses and validates a distilled checkpoint payload.
+func decodeDecisionTable(data []byte) (*DecisionTable, error) {
+	var tj decisionTableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return nil, fmt.Errorf("policy: decode distilled checkpoint: %w", err)
+	}
+	if tj.States <= 0 || tj.Actions <= 0 {
+		return nil, fmt.Errorf("policy: decode distilled checkpoint: invalid dimensions %dx%d", tj.States, tj.Actions)
+	}
+	if len(tj.Best) != tj.States {
+		return nil, fmt.Errorf("policy: decode distilled checkpoint: %d entries for %d states", len(tj.Best), tj.States)
+	}
+	for s, a := range tj.Best {
+		if a < 0 || a >= tj.Actions {
+			return nil, fmt.Errorf("policy: decode distilled checkpoint: state %d action %d out of range [0, %d)", s, a, tj.Actions)
+		}
+	}
+	return &DecisionTable{States: tj.States, Actions: tj.Actions, Best: tj.Best}, nil
+}
+
+// Distilled runs the proposed controller's state discretization with a
+// frozen decision table instead of a live Q-learner: each decision epoch
+// identifies the (stress, aging) state and applies the table's action — no
+// table updates, no learning-rate schedule, and no charged decision-epoch
+// stall, modeling a policy cheap enough to evaluate anywhere.
+//
+// When no pre-trained table is supplied the policy hybrid-bootstraps: an
+// embedded teacher (the repository's Q-learning agent under the Eq. 8
+// reward) learns online until it converges, at which point the table is
+// distilled from the teacher's Q-table and the learner is dropped.
+type Distilled struct {
+	// Table, when non-nil, is the pre-distilled decision table; the run is
+	// frozen from the first epoch. Dimensions must match the default
+	// state/action space.
+	Table *DecisionTable
+	// Seed, when nonzero, seeds the embedded teacher during bootstrap.
+	Seed int64
+
+	cfg   core.Config
+	p     *platform.Platform
+	table *DecisionTable
+	// teacher learns during hybrid bootstrap; nil once the table froze.
+	teacher *rl.Agent
+
+	rec            [][]float64
+	sensorBuf      []float64
+	nextSample     float64
+	lastWork       float64
+	lastEpochStart float64
+
+	prevState, prevAction int
+	havePrev              bool
+	rewardSum             float64
+	rewardN               int
+	epochs                int
+	// distilledAt is the epoch at which the table froze (0 when the run
+	// started from a pre-trained table).
+	distilledAt int
+}
+
+// Name returns "distilled".
+func (*Distilled) Name() string { return "distilled" }
+
+// Attach prepares the sampling machinery and either installs the pre-trained
+// table or builds the bootstrap teacher.
+func (d *Distilled) Attach(p *platform.Platform) error {
+	cfg := core.DefaultConfig()
+	cfg.Agent.NumStates = cfg.States.NumStates()
+	cfg.Agent.NumActions = len(cfg.Actions)
+	if d.Seed != 0 {
+		cfg.Agent.Seed = d.Seed
+	}
+	d.cfg = cfg
+	d.p = p
+	d.table = d.Table
+	if d.table != nil {
+		if d.table.States != cfg.Agent.NumStates || d.table.Actions != cfg.Agent.NumActions {
+			return &rl.DimensionError{
+				GotStates: d.table.States, GotActions: d.table.Actions,
+				WantStates: cfg.Agent.NumStates, WantActions: cfg.Agent.NumActions,
+			}
+		}
+	} else {
+		d.teacher = rl.NewAgent(cfg.Agent)
+	}
+	n := p.NumCores()
+	d.rec = make([][]float64, n)
+	for i := range d.rec {
+		d.rec[i] = make([]float64, 0, cfg.EpochSamples)
+	}
+	d.sensorBuf = make([]float64, n)
+	d.nextSample = cfg.SamplingIntervalS
+	return nil
+}
+
+// Tick samples the sensors and runs one decision epoch when the sample
+// window fills.
+func (d *Distilled) Tick(*platform.Platform) {
+	if d.p.Now()+1e-9 < d.nextSample {
+		return
+	}
+	d.nextSample += d.cfg.SamplingIntervalS
+	temps := d.p.ReadSensors(d.sensorBuf)
+	for i := range d.rec {
+		d.rec[i] = append(d.rec[i], temps[i])
+	}
+	if len(d.rec[0]) >= d.cfg.EpochSamples {
+		d.endEpoch()
+	}
+}
+
+func (d *Distilled) endEpoch() {
+	d.epochs++
+	now := d.p.Now()
+	windowS := now - d.lastEpochStart
+	work := d.p.Workload().CompletedWork()
+	m := core.ComputeEpochMetrics(d.rec, d.cfg.SamplingIntervalS, work-d.lastWork, windowS, d.cfg.Cycling, d.cfg.Aging)
+	d.lastWork = work
+	d.lastEpochStart = now
+
+	state := d.cfg.States.State(d.cfg.States.StressBin(m.Stress), d.cfg.States.AgingBin(m.Aging))
+	reward := math.NaN()
+	if d.havePrev {
+		// The Eq. 8 reward is still computed in frozen mode so tournament
+		// rows report a comparable mean reward; only the teacher learns
+		// from it.
+		reward = d.cfg.Reward.Reward(m, d.cfg.States, d.p.Workload().PerfTarget())
+		d.rewardSum += reward
+		d.rewardN++
+		if d.teacher != nil {
+			d.teacher.Observe(d.prevState, d.prevAction, reward, state)
+		}
+	}
+	var action int
+	if d.table != nil {
+		action = d.table.Lookup(state)
+	} else {
+		prev := -1
+		if d.havePrev {
+			prev = d.prevAction
+		}
+		action = d.teacher.SelectActionSticky(state, prev)
+		if d.cfg.DecisionOverheadS > 0 {
+			// Only the learning teacher pays the manager-daemon stall; the
+			// frozen table's decision cost is the point of distillation.
+			for i := range d.p.Workload().Threads() {
+				d.p.Scheduler().AddStall(i, d.cfg.DecisionOverheadS)
+			}
+		}
+	}
+	if err := d.cfg.Actions[action].Apply(d.p); err != nil {
+		// The action space is validated at build time; an apply failure
+		// indicates a programming error.
+		panic(err)
+	}
+	d.prevState, d.prevAction = state, action
+	d.havePrev = true
+	if d.teacher != nil {
+		d.teacher.EndEpoch()
+		if d.teacher.Converged() {
+			d.table = DistillQTable(d.teacher.Q())
+			d.distilledAt = d.epochs
+			d.teacher = nil
+		}
+	}
+
+	for i := range d.rec {
+		d.rec[i] = d.rec[i][:0]
+	}
+}
+
+// TableSnapshot returns the decision table the policy is (or would be)
+// deciding from: the frozen table once distilled, otherwise a distillation
+// of the teacher's live Q-table. Nil before Attach.
+func (d *Distilled) TableSnapshot() *DecisionTable {
+	if d.table != nil {
+		return d.table
+	}
+	if d.teacher != nil {
+		return DistillQTable(d.teacher.Q())
+	}
+	return nil
+}
+
+// DistilledAtEpoch returns the epoch at which the bootstrap teacher froze
+// into the table (0 when the run started pre-trained or is still learning).
+func (d *Distilled) DistilledAtEpoch() int { return d.distilledAt }
+
+// RewardStats returns the sum and count of granted rewards this run.
+func (d *Distilled) RewardStats() (sum float64, count int) { return d.rewardSum, d.rewardN }
+
+// DecisionEpochs returns the number of decision epochs of this run.
+func (d *Distilled) DecisionEpochs() int { return d.epochs }
+
+// SaveCheckpoint serializes the decision table (distilling the live teacher
+// first when still bootstrapping), implementing Checkpointer.
+func (d *Distilled) SaveCheckpoint() ([]byte, error) {
+	t := d.TableSnapshot()
+	if t == nil {
+		return nil, fmt.Errorf("policy: distilled: nothing to checkpoint before Attach")
+	}
+	return EncodeDistilled(t)
+}

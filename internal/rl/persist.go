@@ -36,8 +36,11 @@ func (t *QTable) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// agentJSON is the serialized learning state of an Agent.
+// agentJSON is the serialized learning state of an Agent. Kind is the
+// policy-kind tag ("" for the historical proposed-controller format), letting
+// checkpoint consumers route a payload to the learner that wrote it.
 type agentJSON struct {
+	Kind      string  `json:"policy_kind,omitempty"`
 	Alpha     float64 `json:"alpha"`
 	Epochs    int     `json:"epochs"`
 	SnapTaken bool    `json:"snapshot_taken"`
@@ -47,11 +50,21 @@ type agentJSON struct {
 
 // Save serializes the agent's learning state (live Q-table, exploration-end
 // snapshot, learning rate, epoch count) as JSON, so a deployment can persist
-// what it learned across restarts.
+// what it learned across restarts. The payload carries no policy-kind tag —
+// the historical format, which decoders treat as the proposed controller;
+// other learners persist through SaveKind.
 func (a *Agent) Save(w io.Writer) error {
+	return a.SaveKind(w, "")
+}
+
+// SaveKind is Save with an explicit policy-kind tag, so every registered
+// learner's checkpoints are distinguishable in the checkpoint store. An empty
+// kind writes the historical untagged format.
+func (a *Agent) SaveKind(w io.Writer, kind string) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(agentJSON{
+		Kind:      kind,
 		Alpha:     a.alpha,
 		Epochs:    a.epochs,
 		SnapTaken: a.snapTaken,
@@ -60,10 +73,29 @@ func (a *Agent) Save(w io.Writer) error {
 	})
 }
 
+// DimensionError reports a saved table whose state/action dimensions do not
+// match the configuration requesting it. It is a typed error so warm-start
+// plumbing can reject a mismatched checkpoint up front instead of adopting a
+// wrong-shaped table (or failing deep inside controller construction).
+type DimensionError struct {
+	// GotStates x GotActions are the saved table's dimensions;
+	// WantStates x WantActions the requesting configuration's.
+	GotStates, GotActions   int
+	WantStates, WantActions int
+}
+
+func (e *DimensionError) Error() string {
+	return fmt.Sprintf("rl: saved table is %dx%d, requesting config wants %dx%d",
+		e.GotStates, e.GotActions, e.WantStates, e.WantActions)
+}
+
 // SavedAgent is serialized agent state decoded without an Agent to load it
 // into: what a checkpoint store or CLI needs to inspect dimensions and pick
 // a warm-start table before any controller exists.
 type SavedAgent struct {
+	// Kind is the policy-kind tag the checkpoint was saved with ("" for the
+	// historical proposed-controller format).
+	Kind string
 	// Alpha and Epochs are the saved learning-rate state.
 	Alpha  float64
 	Epochs int
@@ -71,6 +103,19 @@ type SavedAgent struct {
 	// the save happened before exploration ended).
 	Q        *QTable
 	Snapshot *QTable
+}
+
+// ValidateFor rejects the saved state when its table dimensions do not match
+// a requesting configuration's state/action space, returning a typed
+// *DimensionError so callers can surface the mismatch before any adoption.
+func (sa *SavedAgent) ValidateFor(numStates, numActions int) error {
+	if sa.Q.numStates != numStates || sa.Q.numActions != numActions {
+		return &DimensionError{
+			GotStates: sa.Q.numStates, GotActions: sa.Q.numActions,
+			WantStates: numStates, WantActions: numActions,
+		}
+	}
+	return nil
 }
 
 // DecodeAgent parses agent state previously written by Agent.Save,
@@ -94,7 +139,7 @@ func DecodeAgent(r io.Reader) (*SavedAgent, error) {
 			return nil, fmt.Errorf("rl: decode agent: snapshot dimension mismatch")
 		}
 	}
-	sa := &SavedAgent{Alpha: aj.Alpha, Epochs: aj.Epochs, Q: aj.Q}
+	sa := &SavedAgent{Kind: aj.Kind, Alpha: aj.Alpha, Epochs: aj.Epochs, Q: aj.Q}
 	if aj.SnapTaken {
 		sa.Snapshot = aj.Snapshot
 	}

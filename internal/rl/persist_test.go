@@ -3,6 +3,7 @@ package rl
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -104,5 +105,64 @@ func TestAgentLoadValidation(t *testing.T) {
 	_ = a.Load(strings.NewReader(`{}`))
 	if a.Q().Get(0, 0) != v {
 		t.Error("failed load corrupted the agent")
+	}
+}
+
+func TestSaveKindRoundTrip(t *testing.T) {
+	a := NewAgent(DefaultAgentConfig(3, 4))
+	for i := 0; i < 5; i++ {
+		a.Observe(i%3, i%4, 0.5, (i+1)%3)
+		a.EndEpoch()
+	}
+	var buf bytes.Buffer
+	if err := a.SaveKind(&buf, "releta"); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := DecodeAgent(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Kind != "releta" {
+		t.Errorf("kind = %q, want releta", sa.Kind)
+	}
+
+	// The historical untagged format decodes with an empty kind, and Save
+	// keeps writing it (no policy_kind key at all).
+	buf.Reset()
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "policy_kind") {
+		t.Error("untagged Save leaked a policy_kind key")
+	}
+	sa, err = DecodeAgent(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Kind != "" {
+		t.Errorf("kind = %q, want empty for the historical format", sa.Kind)
+	}
+}
+
+func TestSavedAgentValidateFor(t *testing.T) {
+	a := NewAgent(DefaultAgentConfig(3, 4))
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := DecodeAgent(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.ValidateFor(3, 4); err != nil {
+		t.Fatalf("matching dimensions rejected: %v", err)
+	}
+	err = sa.ValidateFor(12, 12)
+	var de *DimensionError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DimensionError", err)
+	}
+	if de.GotStates != 3 || de.GotActions != 4 || de.WantStates != 12 || de.WantActions != 12 {
+		t.Errorf("DimensionError fields = %+v", de)
 	}
 }

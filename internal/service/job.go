@@ -7,12 +7,14 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"slices"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 )
 
@@ -60,11 +62,16 @@ type Spec struct {
 	// Seed is the base RL seed; 0 keeps the package default, making a
 	// pooled run bit-identical to the plain sequential runners.
 	Seed int64 `json:"seed,omitempty"`
-	// WarmStart names a stored Q-table checkpoint; when set, every
-	// proposed-policy run of the job adopts its learned table (via
-	// rl.Agent.AdoptTable) instead of starting from a zero table. Requires
-	// the server to run with a data directory.
+	// WarmStart names a stored checkpoint; when set, the payload is routed
+	// to the policy whose kind matches (a proposed-kind table warm-starts
+	// the proposed controller via rl.Agent.AdoptTable; other kinds reach
+	// their learner through a tournament's campaign document). Requires the
+	// server to run with a data directory.
 	WarmStart string `json:"warm_start,omitempty"`
+	// Campaign is the declarative tournament document (the experiments.json
+	// spec), required when — and only valid when — Experiment is
+	// campaign.Experiment ("tournament").
+	Campaign json.RawMessage `json:"campaign,omitempty"`
 }
 
 // Validate rejects specs the runner could not execute.
@@ -72,8 +79,20 @@ func (s Spec) Validate() error {
 	if s.Experiment == "" {
 		return fmt.Errorf("service: spec missing experiment")
 	}
-	if !slices.Contains(experiments.ExperimentNames(), s.Experiment) {
-		return fmt.Errorf("service: unknown experiment %q (want one of %v)", s.Experiment, experiments.ExperimentNames())
+	if s.Experiment == campaign.Experiment {
+		if len(s.Campaign) == 0 {
+			return fmt.Errorf("service: tournament spec missing campaign document")
+		}
+		if _, err := campaign.ParseSpec(s.Campaign); err != nil {
+			return err
+		}
+	} else {
+		if len(s.Campaign) > 0 {
+			return fmt.Errorf("service: campaign document only valid with experiment %q, got %q", campaign.Experiment, s.Experiment)
+		}
+		if !slices.Contains(experiments.ExperimentNames(), s.Experiment) {
+			return fmt.Errorf("service: unknown experiment %q (want one of %v)", s.Experiment, experiments.ExperimentNames())
+		}
 	}
 	if s.Repeats < 0 {
 		return fmt.Errorf("service: negative repeats %d", s.Repeats)
@@ -89,6 +108,7 @@ func (s Spec) Config() experiments.Config {
 	cfg := experiments.DefaultConfig()
 	cfg.Quick = s.Quick
 	cfg.Repeats = s.Repeats
+	cfg.CampaignJSON = s.Campaign
 	if s.Seed != 0 {
 		cfg.Seed = DeriveSeed(s.Seed, s.Experiment)
 	}

@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,9 +8,9 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/durable"
 	"repro/internal/experiments"
-	"repro/internal/rl"
 	"repro/internal/telemetry"
 )
 
@@ -24,9 +23,12 @@ func (p *Pool) SetCheckpoints(cs *durable.CheckpointStore) { p.checkpoints = cs 
 func (p *Pool) Checkpoints() *durable.CheckpointStore { return p.checkpoints }
 
 // applyWarmStart resolves a warm_start checkpoint name into the config's
-// warm-start table. An empty name is a no-op; a named checkpoint requires an
-// attached store and a payload that decodes as saved rl.Agent state.
-func (p *Pool) applyWarmStart(cfg *experiments.Config, name string) error {
+// warm-start state. An empty name is a no-op; a named checkpoint requires an
+// attached store and a payload that decodes as a known checkpoint kind. The
+// routing itself — proposed-kind tables onto cfg.WarmStart with dimension
+// validation, other kinds as raw bytes for a tournament's policies — is
+// campaign.ApplyWarmPayload, shared with the cluster worker.
+func (p *Pool) applyWarmStart(cfg *experiments.Config, experiment, name string) error {
 	if name == "" {
 		return nil
 	}
@@ -37,11 +39,9 @@ func (p *Pool) applyWarmStart(cfg *experiments.Config, name string) error {
 	if err != nil {
 		return fmt.Errorf("service: warm_start: %w", err)
 	}
-	sa, err := rl.DecodeAgent(bytes.NewReader(payload))
-	if err != nil {
+	if err := campaign.ApplyWarmPayload(cfg, experiment, payload); err != nil {
 		return fmt.Errorf("service: warm_start %q: %w", name, err)
 	}
-	cfg.WarmStart = sa.WarmTable()
 	return nil
 }
 
@@ -151,7 +151,13 @@ func (p *Pool) decodeCells(spec Spec, js *durable.JobState) ([]any, []error) {
 			errs[idx] = errors.New(cs.Err)
 			continue
 		}
-		row, err := experiments.DecodeCellRow(spec.Experiment, cs.Row)
+		var row any
+		var err error
+		if spec.Experiment == campaign.Experiment {
+			row, err = campaign.DecodeRow(cs.Row)
+		} else {
+			row, err = experiments.DecodeCellRow(spec.Experiment, cs.Row)
+		}
 		if err != nil {
 			p.log.Warn("journaled cell row undecodable, will re-run", "job", js.ID, "cell", idx, "err", err)
 			continue
@@ -183,7 +189,7 @@ func (p *Pool) resume(job Job, rows []any, errs []error) {
 		p.store.Finish(job.ID, nil, err, false)
 	}
 	cfg := job.Spec.Config()
-	if err := p.applyWarmStart(&cfg, job.Spec.WarmStart); err != nil {
+	if err := p.applyWarmStart(&cfg, job.Spec.Experiment, job.Spec.WarmStart); err != nil {
 		fail(err)
 		return
 	}

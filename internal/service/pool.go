@@ -11,14 +11,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/durable"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
 
 // Planner decomposes a campaign into independently runnable cells. The
-// default is experiments.Cells; tests swap in synthetic plans to exercise
-// panic recovery and cancellation without running the simulator.
+// default is campaign.Cells (experiments.Cells plus tournament expansion);
+// tests swap in synthetic plans to exercise panic recovery and cancellation
+// without running the simulator.
 type Planner func(cfg experiments.Config, id string) ([]experiments.Cell, experiments.Assemble, error)
 
 // CellRunner executes one planned cell of a job and reports which node ran
@@ -127,7 +129,7 @@ func NewPool(store *Store, workers int) *Pool {
 	p := &Pool{
 		store:   store,
 		workers: workers,
-		plan:    experiments.Cells,
+		plan:    campaign.Cells,
 		tasks:   make(chan task),
 		ctx:     ctx,
 		cancel:  cancel,
@@ -193,7 +195,7 @@ func (p *Pool) Submit(spec Spec) (Job, error) {
 		return Job{}, err
 	}
 	cfg := spec.Config()
-	if err := p.applyWarmStart(&cfg, spec.WarmStart); err != nil {
+	if err := p.applyWarmStart(&cfg, spec.Experiment, spec.WarmStart); err != nil {
 		return Job{}, err
 	}
 	rec := telemetry.NewRecorder(0)

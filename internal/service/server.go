@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,31 +10,36 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/durable"
-	"repro/internal/rl"
+	"repro/internal/policy"
 	"repro/internal/telemetry"
 )
 
 // Server exposes the job subsystem over HTTP:
 //
 //	POST   /v1/jobs             submit a campaign spec, returns the job
+//	POST   /v1/campaigns        submit a tournament document (experiments.json)
 //	GET    /v1/jobs             list live jobs
 //	GET    /v1/jobs/{id}        status and progress
 //	GET    /v1/jobs/{id}/result assembled rows of a finished job
+//	GET    /v1/jobs/{id}/leaderboard tournament leaderboard (?format=csv)
 //	GET    /v1/jobs/{id}/events RL decision-event trace as JSONL
 //	GET    /v1/jobs/{id}/live   live SSE stream of decision epochs
 //	GET    /v1/jobs/{id}/trace  span trace (?format=chrome|jsonl)
 //	DELETE /v1/jobs/{id}        cancel
-//	GET    /v1/checkpoints        list stored Q-table checkpoints
-//	POST   /v1/checkpoints/{name} store agent state (body = rl.Agent JSON)
-//	GET    /v1/checkpoints/{name} fetch the stored agent state
+//	GET    /v1/checkpoints        list stored policy checkpoints
+//	POST   /v1/checkpoints/{name} store learner state (rl.Agent JSON or a
+//	                              tagged policy checkpoint)
+//	GET    /v1/checkpoints/{name} fetch the stored learner state
 //	DELETE /v1/checkpoints/{name} remove a checkpoint
 //	GET    /healthz             liveness
 //	GET    /metrics             Prometheus text exposition
 //
 // The checkpoint routes require a data directory (thermserved -data-dir)
 // and answer 503 without one. A stored checkpoint's name can be passed as a
-// job spec's warm_start to seed the RL controller of every cell.
+// job spec's warm_start; the payload is routed to the policy whose kind
+// matches (untagged payloads are the proposed controller's).
 //
 // Every route is instrumented: request counts by (route, method, code),
 // latency histograms per route and an in-flight gauge, all registered in
@@ -69,9 +73,11 @@ func NewServer(store *Store, pool *Pool) *Server {
 	s.inFlight = s.reg.Gauge("thermserved_http_in_flight", "HTTP requests currently being served.")
 	s.liveStreams = s.reg.Gauge("thermserved_live_streams", "Live SSE job streams currently connected.")
 	s.handle("POST /v1/jobs", "/v1/jobs", s.handleSubmit)
+	s.handle("POST /v1/campaigns", "/v1/campaigns", s.handleCampaignSubmit)
 	s.handle("GET /v1/jobs", "/v1/jobs", s.handleList)
 	s.handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleGet)
 	s.handle("GET /v1/jobs/{id}/result", "/v1/jobs/{id}/result", s.handleResult)
+	s.handle("GET /v1/jobs/{id}/leaderboard", "/v1/jobs/{id}/leaderboard", s.handleLeaderboard)
 	s.handle("GET /v1/jobs/{id}/events", "/v1/jobs/{id}/events", s.handleEvents)
 	s.handle("GET /v1/jobs/{id}/live", "/v1/jobs/{id}/live", s.handleLive)
 	s.handle("GET /v1/jobs/{id}/trace", "/v1/jobs/{id}/trace", s.handleTrace)
@@ -167,6 +173,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
 		return
 	}
+	s.submit(w, spec)
+}
+
+// handleCampaignSubmit submits a tournament: the request body is the
+// declarative experiments.json document itself, wrapped into a job spec under
+// the reserved tournament experiment. The document's warm_start field (if
+// any) is carried onto the job spec so the pool resolves it like any other
+// warm start.
+func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, durable.MaxPayload))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "read campaign document: %v", err)
+		return
+	}
+	cs, err := campaign.ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.submit(w, Spec{
+		Experiment: campaign.Experiment,
+		Campaign:   json.RawMessage(body),
+		WarmStart:  cs.WarmStart,
+	})
+}
+
+// submit runs a spec through the pool and maps the outcome onto the wire.
+func (s *Server) submit(w http.ResponseWriter, spec Spec) {
 	job, err := s.pool.Submit(spec)
 	if err != nil {
 		// Admission-control rejections are backpressure, not client errors:
@@ -222,6 +256,51 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleLeaderboard serves a finished tournament's per-policy ranking:
+// JSON with the aggregated entries plus the underlying rows, or the
+// deterministic CSV surface with ?format=csv (byte-identical for identical
+// specs, wherever the tournament ran).
+func (s *Server) handleLeaderboard(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s", id)
+		return
+	}
+	if job.Spec.Experiment != campaign.Experiment {
+		writeError(w, http.StatusBadRequest, "job %s is a %q run, not a tournament", id, job.Spec.Experiment)
+		return
+	}
+	if !job.State.Terminal() {
+		writeError(w, http.StatusConflict, "job %s is %s; leaderboard not ready", id, job.State)
+		return
+	}
+	rowsAny, _ := s.store.Rows(id)
+	rows, ok := rowsAny.([]campaign.Row)
+	if !ok {
+		writeError(w, http.StatusConflict, "job %s is %s with no tournament rows", id, job.State)
+		return
+	}
+	entries := campaign.Leaderboard(rows)
+	switch r.URL.Query().Get("format") {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		_ = campaign.WriteCSV(w, entries) //nolint:errcheck // client gone; nothing left to do
+		return
+	case "", "json":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want csv or json)", r.URL.Query().Get("format"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":          job.ID,
+		"state":       job.State,
+		"error":       job.Error,
+		"leaderboard": entries,
+		"rows":        rows,
+	})
+}
+
 // handleEvents streams the job's RL decision trace as JSONL (one event per
 // line), readable while the job is still running. Jobs whose cells run no
 // RL controller produce an empty body.
@@ -268,10 +347,11 @@ func (s *Server) handleCheckpointList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"checkpoints": cs.List()})
 }
 
-// handleCheckpointPut stores the request body — agent state as written by
-// rl.Agent.Save (e.g. thermsim -save-agent) — under the path's name. The
-// payload is decoded before storing, so a corrupt or truncated upload is
-// rejected instead of poisoning later warm starts.
+// handleCheckpointPut stores the request body — learner state as written by
+// any registered policy's checkpointer (rl.Agent JSON, a tagged ReLeTA save,
+// a distilled decision table) — under the path's name. The payload is decoded
+// before storing, so a corrupt or truncated upload is rejected instead of
+// poisoning later warm starts.
 func (s *Server) handleCheckpointPut(w http.ResponseWriter, r *http.Request) {
 	cs := s.checkpoints(w)
 	if cs == nil {
@@ -282,8 +362,8 @@ func (s *Server) handleCheckpointPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "read checkpoint payload: %v", err)
 		return
 	}
-	if _, err := rl.DecodeAgent(bytes.NewReader(payload)); err != nil {
-		writeError(w, http.StatusBadRequest, "not valid agent state: %v", err)
+	if _, err := policy.DecodeCheckpoint(payload); err != nil {
+		writeError(w, http.StatusBadRequest, "not valid learner state: %v", err)
 		return
 	}
 	info, err := cs.Put(r.PathValue("name"), payload)

@@ -150,3 +150,20 @@ func (pp *ProposedPolicy) LearningAgent() *rl.Agent {
 	}
 	return pp.ctl.Agent()
 }
+
+// RewardStats forwards the controller's accumulated reward sum and count,
+// for per-policy reward aggregation in tournaments.
+func (pp *ProposedPolicy) RewardStats() (sum float64, count int) {
+	if pp.ctl == nil {
+		return 0, 0
+	}
+	return pp.ctl.RewardStats()
+}
+
+// DecisionEpochs forwards the controller's decision-epoch count for this run.
+func (pp *ProposedPolicy) DecisionEpochs() int {
+	if pp.ctl == nil {
+		return 0
+	}
+	return pp.ctl.DecisionEpochs()
+}
