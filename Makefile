@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt-check vet test race recover-test cluster-test cluster-obs-test tournament-test bench bench-smoke bench-compare bench-compare-smoke bench-dispatch-gate bench-distilled-gate ci
+.PHONY: all build fmt-check vet test race recover-test cluster-test cluster-obs-test tournament-test learning-test bench bench-smoke bench-compare bench-compare-smoke bench-dispatch-gate bench-distilled-gate bench-learning-gate ci
 
 # Committed benchmark baseline that bench-compare diffs against.
 BENCH_BASELINE ?= BENCH_pr4.json
@@ -51,6 +51,14 @@ recover-test:
 # finished tournaments.
 tournament-test:
 	$(GO) test -race -run 'TestTournament|TestParseSpec|TestPlanExpansion|TestLeaderboard|TestApplyWarmPayload' ./internal/campaign ./internal/service ./internal/cluster
+
+# Learning-observability suite under the race detector: sampler convergence
+# edge cases and the disabled-path zero-alloc guarantee, the
+# sampling-is-observation-only bit-identity checks at the sim layer, the
+# leaderboard tie-break, the /v1/jobs/{id}/learning HTTP flow on fig45, and
+# the durable curve archive.
+learning-test:
+	$(GO) test -race -run 'TestLearning|TestCurve|TestLeaderboardTieBreak' ./internal/rl ./internal/sim ./internal/campaign ./internal/service ./internal/durable
 
 # Full benchmark sweep (quick-mode experiment regeneration plus the
 # micro-benchmarks of every package). The human-readable benchstat text is
@@ -105,4 +113,14 @@ bench-distilled-gate:
 	$(GO) test -bench 'BenchmarkDecisionEpoch$$' -benchmem -count=1 -run '^$$' ./internal/policy | tee results/bench-distilled.txt
 	$(GO) run ./cmd/benchjson -only 'BenchmarkDecisionEpoch/distilled' -threshold 0.50 -gate-ns -compare BENCH_pr8.json results/bench-distilled.txt
 
-ci: build fmt-check vet race cluster-test cluster-obs-test tournament-test bench-smoke bench-compare-smoke
+# Disabled-sampler overhead gate: learning-curve sampling rides the nil
+# receiver when no observer is armed, so BenchmarkFig1 (which never arms one)
+# must stay within 2% ns/op of the pre-sampling PR 8 baseline. Like
+# bench-dispatch-gate, a tight wall-clock gate against a baseline recorded in
+# a different run belongs on a quiet machine, not in ci.
+bench-learning-gate:
+	@mkdir -p results
+	$(GO) test -bench 'BenchmarkFig1$$' -benchmem -count=1 -run '^$$' . | tee results/bench-learning.txt
+	$(GO) run ./cmd/benchjson -only 'BenchmarkFig1' -threshold 0.02 -gate-ns -compare BENCH_pr8.json results/bench-learning.txt
+
+ci: build fmt-check vet race cluster-test cluster-obs-test tournament-test learning-test bench-smoke bench-compare-smoke

@@ -22,6 +22,8 @@
 //	GET    /v1/jobs/{id}/events RL decision trace as JSONL
 //	GET    /v1/jobs/{id}/live   SSE stream of decision epochs while running
 //	GET    /v1/jobs/{id}/trace  span trace (?format=chrome for Perfetto, jsonl)
+//	GET    /v1/jobs/{id}/learning learning-curve summaries (?format=jsonl for
+//	                            the full per-epoch curves)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/checkpoints      policy checkpoints (POST/GET/DELETE .../{name})
 //	GET    /v1/cluster/status   cluster membership/lease/throughput snapshot (coordinator)
@@ -40,7 +42,8 @@
 //
 // With a data dir every finished job's span trace is also archived under
 // DIR/traces (newest -trace-keep retained), so /trace keeps answering after
-// the job is evicted from memory.
+// the job is evicted from memory — and its sampled learning curves under
+// DIR/learning (same retention), so /learning does too.
 //
 // -flight-dir arms the anomaly flight recorder: thermal samples above
 // -temp-ceiling, NaN/Inf temperatures or metrics, and jobs making no
@@ -220,9 +223,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "thermserved:", err)
 			os.Exit(1)
 		}
+		learning, err := durable.OpenLearning(filepath.Join(*dataDir, "learning"), *traceKeep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thermserved:", err)
+			os.Exit(1)
+		}
 		store.SetJournal(journal)
 		pool.SetCheckpoints(checkpoints)
 		pool.SetTraceStore(traces)
+		pool.SetLearningStore(learning)
 		restored, resumed := pool.Recover(journal.Recovered())
 		log.Info("durable store attached", "data_dir", *dataDir, "restored_jobs", restored, "resumed_jobs", resumed)
 	}

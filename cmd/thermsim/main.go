@@ -21,6 +21,13 @@
 // .jsonl suffix selects the archival one-span-per-line form; any other name
 // gets Chrome trace-event JSON, loadable in chrome://tracing or Perfetto.
 //
+// -learning-csv FILE samples every learning policy's learning curve and
+// writes the per-epoch points (reward, mean |TD error|, learning rate,
+// state-visit coverage, greedy-policy stability, attributed cycling damage)
+// as one deterministic CSV after the experiments finish — one row per
+// (policy, workload, seed, repeat, epoch). Sampling is observation-only, so
+// results are bit-identical with and without it.
+//
 // -save-agent FILE persists the RL agent's learned state (live Q-table,
 // exploration-end snapshot, learning rate) from the last proposed-policy
 // run; -load-agent FILE warm-starts every proposed-policy run from such a
@@ -67,6 +74,7 @@ func main() {
 	loadAgent := flag.String("load-agent", "", "warm-start runs from policy checkpoint state in this file")
 	campaignFile := flag.String("campaign", "", "run the declarative tournament in this experiments.json document instead of paper experiments")
 	leaderboardCSV := flag.String("leaderboard-csv", "", "with -campaign: also write the leaderboard as deterministic CSV to this file")
+	learningCSV := flag.String("learning-csv", "", "write every learning policy's per-epoch learning curve as deterministic CSV to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-quick] [-repeats N] [-events FILE] <experiment>...|all\n", os.Args[0])
 		fmt.Fprintf(os.Stderr, "       %s -campaign experiments.json [-leaderboard-csv FILE]\n", os.Args[0])
@@ -116,6 +124,16 @@ func main() {
 		tracer = telemetry.NewTracer(0)
 		cfg.Run.Tracer = tracer
 	}
+	var curves *rl.CurveSet
+	if *learningCSV != "" {
+		curves = rl.NewCurveSet()
+		// Tournament cells deposit into cfg.LearningCurves with full cell
+		// coordinates; plain experiment runs sample through the run observer.
+		cfg.LearningCurves = curves
+		cfg.Run.LearningObserver = func(pol, wl string, s *rl.LearningSampler) {
+			curves.Add(rl.RunCurve{Policy: pol, Workload: wl, Points: s.Points(), Summary: s.Summary()})
+		}
+	}
 
 	if *loadAgent != "" {
 		payload, err := os.ReadFile(*loadAgent)
@@ -154,6 +172,7 @@ func main() {
 		runCampaign(ctx, cfg, *asJSON, *leaderboardCSV)
 		dumpEvents(recorder, *eventsOut)
 		dumpTrace(tracer, *traceOut)
+		dumpLearning(curves, *learningCSV)
 		saveAgentFile(lastAgent, *saveAgent)
 		return
 	}
@@ -176,6 +195,7 @@ func main() {
 		}
 		dumpEvents(recorder, *eventsOut)
 		dumpTrace(tracer, *traceOut)
+		dumpLearning(curves, *learningCSV)
 		saveAgentFile(lastAgent, *saveAgent)
 		return
 	}
@@ -191,6 +211,7 @@ func main() {
 	}
 	dumpEvents(recorder, *eventsOut)
 	dumpTrace(tracer, *traceOut)
+	dumpLearning(curves, *learningCSV)
 	saveAgentFile(lastAgent, *saveAgent)
 }
 
@@ -280,6 +301,28 @@ func saveAgentFile(a *rl.Agent, path string) {
 	}
 	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "thermsim: -save-agent:", err)
+		os.Exit(1)
+	}
+}
+
+// dumpLearning writes the sampled learning curves as one deterministic CSV
+// for -learning-csv. Runs that sampled nothing (deterministic baselines) are
+// simply absent; a run list with no learner yields a header-only file.
+func dumpLearning(curves *rl.CurveSet, path string) {
+	if curves == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim: -learning-csv:", err)
+		os.Exit(1)
+	}
+	err = curves.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermsim: -learning-csv:", err)
 		os.Exit(1)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/policy"
+	"repro/internal/rl"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -37,6 +38,15 @@ type Row struct {
 	// a reward signal); DecisionEpochs the learner's decision-epoch count.
 	MeanReward     float64 `json:"mean_reward"`
 	DecisionEpochs int     `json:"decision_epochs"`
+	// ConvergeEpoch is the learning-curve convergence verdict: the 1-based
+	// decision epoch at which the greedy policy became permanently stable
+	// (per the sliding-window detector), -1 when the sampled learner never
+	// converged, and 0 for policies with no learning curve to sample.
+	ConvergeEpoch int `json:"converge_epoch"`
+	// CoreDamageShare is the per-core share of the run's thermal-cycling
+	// damage (Eq. 6 stress), summing to 1 — or all zeros when the run
+	// closed no plastic cycles.
+	CoreDamageShare []float64 `json:"core_damage_share,omitempty"`
 }
 
 // Cells is a drop-in planner for the job subsystem (it matches the pool's
@@ -105,6 +115,13 @@ func runCell(cfg experiments.Config, spec *Spec, c cellPlan) (Row, error) {
 	}
 	rc := cfg.Run
 	rc.DiscardTrace = true
+	// Tournament cells always sample the learning curve: sampling is
+	// observation-only (it never touches a policy's action-selection RNG),
+	// so rows stay bit-identical with and without it across standalone,
+	// pooled and sharded execution — while every row gains the convergence
+	// verdict and per-core damage attribution.
+	var sampled *rl.LearningSampler
+	rc.LearningObserver = func(_, _ string, s *rl.LearningSampler) { sampled = s }
 	res, err := sim.Run(rc, work, pol)
 	if err != nil {
 		return Row{}, err
@@ -113,6 +130,7 @@ func runCell(cfg experiments.Config, spec *Spec, c cellPlan) (Row, error) {
 		Policy: c.Policy, Workload: c.Workload, Seed: c.Seed, Repeat: c.Repeat,
 		ExecTimeS: res.ExecTimeS, AvgTempC: res.AvgTempC, PeakTempC: res.PeakTempC,
 		CyclingMTTF: res.CyclingMTTF, AgingMTTF: res.AgingMTTF, CombinedMTTF: res.CombinedMTTF,
+		CoreDamageShare: res.CoreDamageShare,
 	}
 	if rs, ok := pol.(interface{ RewardStats() (float64, int) }); ok {
 		if sum, n := rs.RewardStats(); n > 0 {
@@ -121,6 +139,15 @@ func runCell(cfg experiments.Config, spec *Spec, c cellPlan) (Row, error) {
 	}
 	if ec, ok := pol.(interface{ DecisionEpochs() int }); ok {
 		row.DecisionEpochs = ec.DecisionEpochs()
+	}
+	if sampled != nil {
+		row.ConvergeEpoch = sampled.ConvergedEpoch() // -1 when never converged
+		if cfg.LearningCurves != nil {
+			cfg.LearningCurves.Add(rl.RunCurve{
+				Policy: c.Policy, Workload: c.Workload, Seed: c.Seed, Repeat: c.Repeat,
+				Points: sampled.Points(), Summary: sampled.Summary(),
+			})
+		}
 	}
 	return row, nil
 }

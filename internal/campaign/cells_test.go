@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"repro/internal/experiments"
@@ -97,7 +98,7 @@ func TestRowJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.(Row) != rows[0] {
+	if !reflect.DeepEqual(got.(Row), rows[0]) {
 		t.Fatalf("round trip changed the row:\n%+v\n%+v", got, rows[0])
 	}
 }
@@ -145,6 +146,27 @@ func TestLeaderboardRanking(t *testing.T) {
 	a := entries[1]
 	if a.Runs != 2 || a.CombinedMTTF != 1.5 || a.MeanReward != 0.6 || a.MeanDecisionEpochs != 15 {
 		t.Errorf("aggregation wrong: %+v", a)
+	}
+}
+
+// TestLeaderboardTieBreak: policies with equal combined MTTF rank
+// alphabetically by name, so leaderboards stay byte-stable however the rows
+// arrive (standalone, pooled, or sharded across workers).
+func TestLeaderboardTieBreak(t *testing.T) {
+	rows := []Row{
+		{Policy: "zeta", CombinedMTTF: 2},
+		{Policy: "alpha", CombinedMTTF: 2},
+		{Policy: "mid", CombinedMTTF: 2},
+		{Policy: "winner", CombinedMTTF: 5},
+	}
+	entries := Leaderboard(rows)
+	got := make([]string, len(entries))
+	for i, e := range entries {
+		got[i] = e.Policy
+	}
+	want := []string{"winner", "alpha", "mid", "zeta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tie-break order %v, want %v", got, want)
 	}
 }
 

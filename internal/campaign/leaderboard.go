@@ -23,6 +23,16 @@ type Entry struct {
 	ExecTimeS          float64 `json:"exec_time_s"`
 	MeanReward         float64 `json:"mean_reward"`
 	MeanDecisionEpochs float64 `json:"mean_decision_epochs"`
+	// ConvergedRuns counts the policy's runs whose greedy policy converged
+	// (Row.ConvergeEpoch >= 1); MeanConvergeEpoch averages the converge
+	// epoch over those runs (0 when none converged — deterministic
+	// baselines have no learning curve at all).
+	ConvergedRuns     int     `json:"converged_runs"`
+	MeanConvergeEpoch float64 `json:"mean_converge_epoch"`
+	// CoreDamageShare is the mean per-core share of thermal-cycling damage
+	// over the policy's runs — which cores this policy let absorb the
+	// cycling stress.
+	CoreDamageShare []float64 `json:"core_damage_share,omitempty"`
 }
 
 // Leaderboard aggregates tournament rows into per-policy entries, ranked by
@@ -50,6 +60,16 @@ func Leaderboard(rows []Row) []Entry {
 		e.ExecTimeS += r.ExecTimeS
 		e.MeanReward += r.MeanReward
 		e.MeanDecisionEpochs += float64(r.DecisionEpochs)
+		if r.ConvergeEpoch >= 1 {
+			e.ConvergedRuns++
+			e.MeanConvergeEpoch += float64(r.ConvergeEpoch)
+		}
+		for len(e.CoreDamageShare) < len(r.CoreDamageShare) {
+			e.CoreDamageShare = append(e.CoreDamageShare, 0)
+		}
+		for c, share := range r.CoreDamageShare {
+			e.CoreDamageShare[c] += share
+		}
 	}
 	for i := range entries {
 		n := float64(entries[i].Runs)
@@ -61,6 +81,12 @@ func Leaderboard(rows []Row) []Entry {
 		entries[i].ExecTimeS /= n
 		entries[i].MeanReward /= n
 		entries[i].MeanDecisionEpochs /= n
+		if entries[i].ConvergedRuns > 0 {
+			entries[i].MeanConvergeEpoch /= float64(entries[i].ConvergedRuns)
+		}
+		for c := range entries[i].CoreDamageShare {
+			entries[i].CoreDamageShare[c] /= n
+		}
 	}
 	sort.SliceStable(entries, func(i, j int) bool {
 		if entries[i].CombinedMTTF != entries[j].CombinedMTTF {
@@ -75,6 +101,7 @@ func Leaderboard(rows []Row) []Entry {
 var csvHeader = []string{
 	"policy", "runs", "combined_mttf_y", "cycling_mttf_y", "aging_mttf_y",
 	"peak_temp_c", "avg_temp_c", "exec_time_s", "mean_reward", "mean_decision_epochs",
+	"converged_runs", "mean_converge_epoch", "core_damage_share",
 }
 
 // WriteCSV renders the leaderboard as CSV. Floats use Go's shortest exact
@@ -96,6 +123,9 @@ func WriteCSV(w io.Writer, entries []Entry) error {
 			fmtFloat(e.ExecTimeS),
 			fmtFloat(e.MeanReward),
 			fmtFloat(e.MeanDecisionEpochs),
+			strconv.Itoa(e.ConvergedRuns),
+			fmtFloat(e.MeanConvergeEpoch),
+			fmtShares(e.CoreDamageShare),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -109,6 +139,19 @@ func WriteCSV(w io.Writer, entries []Entry) error {
 // shortest representation that round-trips exactly.
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// fmtShares renders a per-core share vector as one ";"-joined CSV field,
+// keeping the column count independent of the core count.
+func fmtShares(shares []float64) string {
+	if len(shares) == 0 {
+		return ""
+	}
+	parts := make([]string, len(shares))
+	for i, s := range shares {
+		parts[i] = fmtFloat(s)
+	}
+	return strings.Join(parts, ";")
+}
+
 // FormatLeaderboard renders an aligned human-readable leaderboard table.
 func FormatLeaderboard(name string, entries []Entry) string {
 	var sb strings.Builder
@@ -116,11 +159,23 @@ func FormatLeaderboard(name string, entries []Entry) string {
 		fmt.Fprintf(&sb, "tournament %s\n", name)
 	}
 	tw := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "rank\tpolicy\truns\tMTTF(y)\tcycling\taging\tpeak C\tavg C\texec s\treward\tepochs")
+	fmt.Fprintln(tw, "rank\tpolicy\truns\tMTTF(y)\tcycling\taging\tpeak C\tavg C\texec s\treward\tepochs\tconv\tdmg/core")
 	for i, e := range entries {
-		fmt.Fprintf(tw, "%d\t%s\t%d\t%.2f\t%.2f\t%.2f\t%.1f\t%.1f\t%.1f\t%+.3f\t%.0f\n",
+		conv := "-"
+		if e.ConvergedRuns > 0 {
+			conv = fmt.Sprintf("%d@%.0f", e.ConvergedRuns, e.MeanConvergeEpoch)
+		}
+		dmg := "-"
+		if len(e.CoreDamageShare) > 0 {
+			parts := make([]string, len(e.CoreDamageShare))
+			for c, s := range e.CoreDamageShare {
+				parts[c] = fmt.Sprintf("%.0f%%", 100*s)
+			}
+			dmg = strings.Join(parts, "/")
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%.2f\t%.2f\t%.2f\t%.1f\t%.1f\t%.1f\t%+.3f\t%.0f\t%s\t%s\n",
 			i+1, e.Policy, e.Runs, e.CombinedMTTF, e.CyclingMTTF, e.AgingMTTF,
-			e.PeakTempC, e.AvgTempC, e.ExecTimeS, e.MeanReward, e.MeanDecisionEpochs)
+			e.PeakTempC, e.AvgTempC, e.ExecTimeS, e.MeanReward, e.MeanDecisionEpochs, conv, dmg)
 	}
 	tw.Flush()
 	return sb.String()

@@ -167,6 +167,32 @@ func (m *Membership) Federated() []telemetry.SampleFamily {
 	return out
 }
 
+// LearningHealth sums the fleet's learning-observability counters from each
+// live worker's last heartbeat snapshot: total sampled runs and how many of
+// them converged. Dead workers' contributions vanish with their membership,
+// like every other federated series.
+func (m *Membership) LearningHealth() (runs, converged int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, w := range m.workers {
+		for _, fam := range w.metrics {
+			var dst *int64
+			switch fam.Name {
+			case "thermworker_learning_runs_total":
+				dst = &runs
+			case "thermworker_learning_converged_total":
+				dst = &converged
+			default:
+				continue
+			}
+			for _, s := range fam.Series {
+				*dst += int64(s.Value)
+			}
+		}
+	}
+	return runs, converged
+}
+
 // Sweep removes every worker whose last heartbeat is older than expireAfter
 // and returns their ids, so the caller can force-expire their leases.
 func (m *Membership) Sweep(expireAfter time.Duration) []string {

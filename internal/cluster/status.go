@@ -35,18 +35,27 @@ type ClusterStatus struct {
 	// EventsTotal is the cluster event ring's lifetime count (the SSE
 	// stream's cursor space).
 	EventsTotal int64 `json:"events_total"`
+	// LearningRuns and LearningConverged sum the live workers' last-reported
+	// learning-observability counters (thermworker_learning_*): how many
+	// sampled learning runs the fleet finalized and how many of them
+	// converged — the cluster-level learning-health headline.
+	LearningRuns      int64 `json:"learning_runs"`
+	LearningConverged int64 `json:"learning_converged"`
 }
 
 // Status assembles the current cluster status snapshot.
 func (c *Coordinator) Status() ClusterStatus {
+	runs, converged := c.members.LearningHealth()
 	return ClusterStatus{
-		Workers:        c.members.Snapshot(),
-		Alive:          c.members.Alive(),
-		LeasesActive:   c.leases.Active(),
-		ShardImbalance: c.members.Imbalance(),
-		ThroughputCPM:  c.events.RecentCommits(throughputWindow),
-		ChurnPerMin:    c.events.RecentReassigns(time.Minute),
-		EventsTotal:    c.events.Total(),
+		Workers:           c.members.Snapshot(),
+		Alive:             c.members.Alive(),
+		LeasesActive:      c.leases.Active(),
+		ShardImbalance:    c.members.Imbalance(),
+		ThroughputCPM:     c.events.RecentCommits(throughputWindow),
+		ChurnPerMin:       c.events.RecentReassigns(time.Minute),
+		EventsTotal:       c.events.Total(),
+		LearningRuns:      runs,
+		LearningConverged: converged,
 	}
 }
 

@@ -12,9 +12,12 @@ import (
 	"repro/internal/service"
 )
 
+// tournamentDoc includes releta — a live learner whose cells sample learning
+// curves — so the bit-identity check below also covers the leaderboard's
+// converge_epoch and core_damage_share columns.
 const tournamentDoc = `{
 	"name": "cluster-ci",
-	"policies": ["linux-ondemand", "distilled"],
+	"policies": ["linux-ondemand", "distilled", "releta"],
 	"workloads": ["mpegdec"],
 	"seeds": [1, 2]
 }`

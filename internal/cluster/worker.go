@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/rl"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
@@ -140,6 +141,20 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	w.reg.GaugeFunc("thermworker_clock_offset_us",
 		"Estimated coordinator-minus-worker clock offset, microseconds.",
 		func() float64 { return float64(w.clockOffsetUS.Load()) })
+	// Learning health rides the same heartbeat bus as every other worker
+	// metric: the coordinator federates these on /metrics and sums them into
+	// /v1/cluster/status, so fleet-wide convergence is visible from one
+	// scrape. The counters are process-wide (rl package totals), which is
+	// exact for the one-worker-per-process deployment this repo ships.
+	w.reg.CounterFunc("thermworker_learning_runs_total",
+		"Learning-curve sampled runs finalized in this worker process.",
+		func() float64 { runs, _, _ := rl.LearningStats(); return float64(runs) })
+	w.reg.CounterFunc("thermworker_learning_converged_total",
+		"Sampled runs whose greedy policy converged in this worker process.",
+		func() float64 { _, conv, _ := rl.LearningStats(); return float64(conv) })
+	w.reg.GaugeFunc("thermworker_learning_last_converge_epoch",
+		"Converge epoch of this worker process's most recently converged run.",
+		func() float64 { _, _, last := rl.LearningStats(); return float64(last) })
 	w.mux.HandleFunc("POST /cluster/v1/assign", w.handleAssign)
 	w.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -214,7 +214,10 @@ type Controller struct {
 	tracer           *telemetry.Tracer
 	traceSpan        telemetry.SpanID
 	wallEpochStartUS int64
-	log              *slog.Logger
+	// curve, when attached, samples one learning-curve point per decision
+	// epoch (nil receiver disables at a single branch; see rl.LearningSampler).
+	curve *rl.LearningSampler
+	log   *slog.Logger
 }
 
 // New creates a controller attached to a platform. The platform should be
@@ -360,6 +363,26 @@ func (c *Controller) AttachTracer(t *telemetry.Tracer, runSpan telemetry.SpanID)
 	c.tracer = t
 	c.traceSpan = runSpan
 	c.wallEpochStartUS = t.Now()
+}
+
+// AttachLearningSampler samples a learning-curve point per decision epoch and
+// routes the agent's TD errors into s. Attaching is purely observational: the
+// sampler never touches the agent's action-selection RNG, so the learned
+// policy and every derived row stay bit-identical. Pass nil to detach.
+func (c *Controller) AttachLearningSampler(s *rl.LearningSampler) {
+	c.curve = s
+	c.agent.AttachSampler(s)
+}
+
+// CurrentDecision reports the decision epoch currently in force and the
+// action it applied (epoch 0 / action -1 before the first decision). Damage
+// attribution uses it to pin each closing thermal cycle to the decision that
+// was steering the platform at the time.
+func (c *Controller) CurrentDecision() (epoch, action int) {
+	if !c.havePrev {
+		return 0, -1
+	}
+	return c.localEpochs, c.prevAction
 }
 
 // History returns the recorded epochs (empty unless RecordHistory(true)).
@@ -530,6 +553,7 @@ func (c *Controller) endEpoch() {
 	c.prevState, c.prevAction = state, action
 	c.havePrev = true
 	c.agent.EndEpoch()
+	c.curve.EndEpoch(c.localEpochs, now, reward, c.agent.Alpha(), state, action, c.agent.Q())
 
 	if c.recordHistory {
 		c.history = append(c.history, EpochRecord{

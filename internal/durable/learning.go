@@ -1,0 +1,136 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNoLearning is returned when a job has no archived learning curves.
+var ErrNoLearning = errors.New("durable: no archived learning curves")
+
+// DefaultLearningKeep bounds how many archived learning-curve sets survive
+// pruning when the caller passes a non-positive keep count.
+const DefaultLearningKeep = 64
+
+// LearningStore archives the learning curves of finished jobs as JSONL files
+// (one rl.RunCurve object per line), one file per job, next to the trace
+// store — so a job's learning trajectory outlives its in-memory eviction.
+// Like the trace store it prunes itself to the newest keep archives.
+//
+// The store treats the payload as opaque bytes: serialization lives with the
+// curve types in internal/rl, keeping this package free of an rl dependency.
+type LearningStore struct {
+	mu   sync.Mutex
+	dir  string
+	keep int
+}
+
+// OpenLearning opens (creating if needed) a learning-curve archive under dir,
+// retaining the newest keep archives (DefaultLearningKeep when keep <= 0).
+func OpenLearning(dir string, keep int) (*LearningStore, error) {
+	if keep <= 0 {
+		keep = DefaultLearningKeep
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: open learning archive: %w", err)
+	}
+	return &LearningStore{dir: dir, keep: keep}, nil
+}
+
+func (ls *LearningStore) path(job string) string {
+	return filepath.Join(ls.dir, "learning-"+job+".jsonl")
+}
+
+// Save archives one job's serialized learning curves atomically (write-temp +
+// rename) and prunes the oldest archives past the retention bound.
+func (ls *LearningStore) Save(job string, jsonl []byte) error {
+	if !traceJobRE.MatchString(job) {
+		return fmt.Errorf("durable: bad learning job name %q", job)
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	tmp := ls.path(job) + ".tmp"
+	if err := os.WriteFile(tmp, jsonl, 0o644); err != nil {
+		return fmt.Errorf("durable: save learning %s: %w", job, err)
+	}
+	if err := os.Rename(tmp, ls.path(job)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: save learning %s: %w", job, err)
+	}
+	ls.pruneLocked()
+	return nil
+}
+
+// Load reads back one job's archived curves (ErrNoLearning when absent).
+func (ls *LearningStore) Load(job string) ([]byte, error) {
+	if !traceJobRE.MatchString(job) {
+		return nil, ErrNoLearning
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	data, err := os.ReadFile(ls.path(job))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoLearning
+		}
+		return nil, fmt.Errorf("durable: load learning %s: %w", job, err)
+	}
+	return data, nil
+}
+
+// Delete removes one job's archive (idempotent).
+func (ls *LearningStore) Delete(job string) error {
+	if !traceJobRE.MatchString(job) {
+		return nil
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if err := os.Remove(ls.path(job)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("durable: delete learning %s: %w", job, err)
+	}
+	return nil
+}
+
+// List returns the jobs with archived learning curves, oldest first.
+func (ls *LearningStore) List() []string {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.listLocked()
+}
+
+func (ls *LearningStore) listLocked() []string {
+	entries, err := os.ReadDir(ls.dir)
+	if err != nil {
+		return nil
+	}
+	var jobs []string
+	for _, e := range entries {
+		name := e.Name()
+		job, ok := strings.CutPrefix(name, "learning-")
+		if !ok {
+			continue
+		}
+		job, ok = strings.CutSuffix(job, ".jsonl")
+		if !ok {
+			continue
+		}
+		jobs = append(jobs, job)
+	}
+	sort.Strings(jobs)
+	return jobs
+}
+
+// pruneLocked drops the oldest archives beyond the retention bound (job IDs
+// sort chronologically).
+func (ls *LearningStore) pruneLocked() {
+	jobs := ls.listLocked()
+	for len(jobs) > ls.keep {
+		os.Remove(ls.path(jobs[0]))
+		jobs = jobs[1:]
+	}
+}

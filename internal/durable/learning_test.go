@@ -1,0 +1,66 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestLearningStoreRoundTrip(t *testing.T) {
+	ls, err := OpenLearning(filepath.Join(t.TempDir(), "learning"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"policy":"proposed","workload":"face_rec","points":[]}` + "\n")
+	if err := ls.Save("job-000001", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ls.Load("job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload changed: %q vs %q", got, payload)
+	}
+
+	if _, err := ls.Load("job-000099"); !errors.Is(err, ErrNoLearning) {
+		t.Fatalf("missing job: %v, want ErrNoLearning", err)
+	}
+	if err := ls.Save("../escape", payload); err == nil {
+		t.Fatal("path-traversal job name accepted")
+	}
+	if _, err := ls.Load("../escape"); !errors.Is(err, ErrNoLearning) {
+		t.Fatalf("bad name load: %v, want ErrNoLearning", err)
+	}
+
+	if err := ls.Delete("job-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Delete("job-000001"); err != nil {
+		t.Fatalf("second delete not idempotent: %v", err)
+	}
+	if _, err := ls.Load("job-000001"); !errors.Is(err, ErrNoLearning) {
+		t.Fatalf("deleted job still loads: %v", err)
+	}
+}
+
+func TestLearningStorePrunesOldest(t *testing.T) {
+	ls, err := OpenLearning(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range []string{"job-000001", "job-000002", "job-000003"} {
+		if err := ls.Save(job, []byte("{}\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"job-000002", "job-000003"}
+	if got := ls.List(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after prune: %v, want %v", got, want)
+	}
+	if _, err := ls.Load("job-000001"); !errors.Is(err, ErrNoLearning) {
+		t.Fatalf("pruned job still loads: %v", err)
+	}
+}

@@ -94,6 +94,8 @@ type ReLeTA struct {
 	rewardSum             float64
 	rewardN               int
 	epochs                int
+	// curve samples one learning-curve point per decision epoch (nil = off).
+	curve *rl.LearningSampler
 }
 
 // Name returns "releta".
@@ -129,7 +131,28 @@ func (r *ReLeTA) Attach(p *platform.Platform) error {
 	r.sensorBuf = make([]float64, p.NumCores())
 	r.nextSample = cfg.SamplingIntervalS
 	r.peak = math.Inf(-1)
+	r.agent.AttachSampler(r.curve)
 	return nil
+}
+
+// AttachLearningSampler enables per-epoch learning-curve sampling (nil
+// detaches). Valid before or after Attach; sampling is observation-only and
+// never perturbs the agent's action-selection RNG.
+func (r *ReLeTA) AttachLearningSampler(s *rl.LearningSampler) {
+	r.curve = s
+	if r.agent != nil {
+		r.agent.AttachSampler(s)
+	}
+}
+
+// CurrentDecision reports the decision epoch currently in force and the
+// action it applied (epoch 0 / action -1 before the first decision), for
+// thermal-cycle damage attribution.
+func (r *ReLeTA) CurrentDecision() (epoch, action int) {
+	if !r.havePrev {
+		return 0, -1
+	}
+	return r.epochs, r.prevAction
 }
 
 // Tick samples the sensors at the sampling interval and runs one decision
@@ -165,8 +188,9 @@ func (r *ReLeTA) endEpoch() {
 	if r.havePrev {
 		prev = r.prevAction
 	}
+	reward := math.NaN()
 	if r.havePrev {
-		reward := r.reward()
+		reward = r.reward()
 		r.rewardSum += reward
 		r.rewardN++
 		r.agent.Observe(r.prevState, r.prevAction, reward, state)
@@ -185,6 +209,7 @@ func (r *ReLeTA) endEpoch() {
 	r.prevState, r.prevAction = state, action
 	r.havePrev = true
 	r.agent.EndEpoch()
+	r.curve.EndEpoch(r.epochs, r.p.Now(), reward, r.agent.Alpha(), state, action, r.agent.Q())
 
 	r.samples = 0
 	r.peak = math.Inf(-1)

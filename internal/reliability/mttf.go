@@ -75,7 +75,16 @@ func (p CyclingParams) ThermalStress(cycles []Cycle) float64 {
 // where duration is the observed time in seconds. The result is in years.
 // If the profile produced no plastic cycles the MTTF is +Inf.
 func (p CyclingParams) CyclingMTTF(cycles []Cycle, durationS float64) float64 {
-	stress := p.ThermalStress(cycles)
+	return p.CyclingMTTFFromStress(p.ThermalStress(cycles), durationS)
+}
+
+// CyclingMTTFFromStress converts an already-accumulated Eq. 6 fatigue stress
+// over durationS seconds into the cycling MTTF in years (+Inf when no cycle
+// crossed the elastic threshold). Both the batch CyclingMTTF and the
+// streaming MTTFAccumulator reduce through this one expression, so callers
+// holding a per-core stress (the lifetime-attribution surfaces) derive MTTFs
+// bit-identical to either pipeline.
+func (p CyclingParams) CyclingMTTFFromStress(stress, durationS float64) float64 {
 	if stress == 0 {
 		return math.Inf(1)
 	}

@@ -124,6 +124,11 @@ type MTTFAccumulator struct {
 	agingSum float64 // sum of 1/alpha(T) over samples
 	n        int     // samples pushed
 	cycles   int64   // cycles emitted (full and half)
+
+	// onCycleHook, when set, observes every emitted cycle together with the
+	// stress delta it contributed (0 for sub-threshold ranges). It fires
+	// after the stress is accumulated, so it can never perturb the MTTF.
+	onCycleHook func(c Cycle, stressDelta float64)
 }
 
 // NewMTTFAccumulator creates an accumulator with the given reliability
@@ -136,12 +141,29 @@ func NewMTTFAccumulator(cyc CyclingParams, aging AgingParams) *MTTFAccumulator {
 
 func (m *MTTFAccumulator) onCycle(c Cycle) {
 	m.cycles++
-	if c.Range <= m.cyc.TTh {
-		return
+	var delta float64
+	if c.Range > m.cyc.TTh {
+		delta = c.Count * math.Pow(c.Range-m.cyc.TTh, m.cyc.B) *
+			math.Exp(-m.cyc.EaEV/(BoltzmannEV*kelvin(c.Max)))
+		m.stress += delta
 	}
-	m.stress += c.Count * math.Pow(c.Range-m.cyc.TTh, m.cyc.B) *
-		math.Exp(-m.cyc.EaEV/(BoltzmannEV*kelvin(c.Max)))
+	if m.onCycleHook != nil {
+		m.onCycleHook(c, delta)
+	}
 }
+
+// SetOnCycle installs an observer invoked for every rainflow cycle the
+// accumulator closes, with the Eq. 6 stress delta that cycle contributed
+// (zero when the range sits below the cycling threshold). The hook is purely
+// observational — damage attribution uses it to pin each cycle's stress to
+// the decision epoch in force when the cycle closed. Pass nil to detach.
+func (m *MTTFAccumulator) SetOnCycle(fn func(c Cycle, stressDelta float64)) {
+	m.onCycleHook = fn
+}
+
+// Stress returns the Eq. 6 plastic fatigue stress accumulated so far (the
+// residual half cycles only contribute after Finish).
+func (m *MTTFAccumulator) Stress() float64 { return m.stress }
 
 // Push feeds one temperature sample (degrees Celsius).
 func (m *MTTFAccumulator) Push(tempC float64) {
@@ -162,12 +184,7 @@ func (m *MTTFAccumulator) Cycles() int64 { return m.cycles }
 // accumulator must not be pushed to afterwards; use Reset to start over.
 func (m *MTTFAccumulator) Finish(sampleIntervalS float64) (cyclingY, agingY float64) {
 	m.rf.Finish()
-	if m.stress == 0 {
-		cyclingY = math.Inf(1)
-	} else {
-		durationS := float64(m.n) * sampleIntervalS
-		cyclingY = m.cyc.ATC * (durationS / SecondsPerYear) / m.stress
-	}
+	cyclingY = m.cyc.CyclingMTTFFromStress(m.stress, float64(m.n)*sampleIntervalS)
 	if m.n == 0 {
 		agingY = m.aging.AgingMTTF(0)
 	} else {

@@ -21,6 +21,11 @@ var (
 	mAdoptions      *telemetry.Counter
 	mAlpha          *telemetry.Gauge
 	mReward         *telemetry.Histogram
+
+	// Learning-curve health (finalized samplers; see LearningStats).
+	mLearningRuns         *telemetry.Counter
+	mLearningConverged    *telemetry.Counter
+	mLearningLastConverge *telemetry.Gauge
 )
 
 // rewardBuckets spans the Eq. 8 range: unsafe-state penalties reach
@@ -38,5 +43,8 @@ func initMetrics() {
 		mAdoptions = reg.Counter("rl_adoptions_total", "Policies adopted from the signature library.")
 		mAlpha = reg.Gauge("rl_alpha", "Learning rate after the most recent epoch of any agent.")
 		mReward = reg.Histogram("rl_reward", "Distribution of Eq. 8 rewards granted.", rewardBuckets)
+		mLearningRuns = reg.Counter("rl_learning_runs_total", "Sampled learning runs finalized.")
+		mLearningConverged = reg.Counter("rl_learning_converged_total", "Sampled learning runs whose greedy policy converged.")
+		mLearningLastConverge = reg.Gauge("rl_learning_last_converge_epoch", "Converge epoch of the most recently converged sampled run.")
 	})
 }

@@ -44,6 +44,23 @@ func (p *Pool) SetTraceStore(ts *durable.TraceStore) {
 // directory); the HTTP layer serves archived traces from it.
 func (p *Pool) TraceStore() *durable.TraceStore { return p.traces }
 
+// SetLearningStore attaches the archive that keeps finished jobs' learning
+// curves across eviction, alongside the trace archive, and hooks store
+// eviction so an evicted job's curve archive goes with it. Attach before
+// serving traffic.
+func (p *Pool) SetLearningStore(ls *durable.LearningStore) {
+	p.learning = ls
+	p.store.SetOnEvict(func(id string) {
+		if err := ls.Delete(id); err != nil {
+			p.log.Warn("evicted job's learning curves not deleted", "job", id, "err", err)
+		}
+	})
+}
+
+// LearningStore returns the attached learning-curve archive (nil without a
+// data directory); the HTTP layer serves archived curves from it.
+func (p *Pool) LearningStore() *durable.LearningStore { return p.learning }
+
 // armFlightRecorder builds the job's flight recorder and threads anomaly
 // detection into the simulation config (before planning, since cells capture
 // the config by value). Returns nil — which every FlightRecorder method
@@ -114,5 +131,22 @@ func (p *Pool) archiveTrace(jr *jobRun) {
 	}
 	if err := p.traces.Save(jr.id, jr.tracer.Snapshot()); err != nil {
 		p.log.Warn("trace not archived", "job", jr.id, "err", err)
+	}
+}
+
+// archiveLearning persists a finalized job's sampled learning curves, when an
+// archive is attached and the job sampled any (deterministic-only jobs whose
+// cells attach no learner archive nothing).
+func (p *Pool) archiveLearning(jr *jobRun) {
+	if p.learning == nil || jr.curves == nil || jr.curves.Len() == 0 {
+		return
+	}
+	data, err := jr.curves.MarshalJSONL()
+	if err != nil {
+		p.log.Warn("learning curves not serialized", "job", jr.id, "err", err)
+		return
+	}
+	if err := p.learning.Save(jr.id, data); err != nil {
+		p.log.Warn("learning curves not archived", "job", jr.id, "err", err)
 	}
 }

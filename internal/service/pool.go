@@ -14,6 +14,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/durable"
 	"repro/internal/experiments"
+	"repro/internal/rl"
 	"repro/internal/telemetry"
 )
 
@@ -71,6 +72,10 @@ type Pool struct {
 	// outlives the job's in-memory eviction.
 	traces *durable.TraceStore
 
+	// learning, when attached, archives each finished job's sampled learning
+	// curves (JSONL) next to the trace archive.
+	learning *durable.LearningStore
+
 	// Flight-recorder configuration (EnableFlightRecorder): anomaly dumps
 	// land in flightDir, temperatures above tempCeilingC trip thermal-runaway
 	// alerts, and a running job making no progress for stallDeadline trips a
@@ -103,6 +108,9 @@ type jobRun struct {
 	jobSpan telemetry.SpanID
 	events  *telemetry.Recorder
 	flight  *telemetry.FlightRecorder
+	// curves collects every learning curve the job's cells sample; the
+	// learning endpoint serves it live and archiveLearning persists it.
+	curves *rl.CurveSet
 
 	mu        sync.Mutex
 	rows      []any
@@ -202,6 +210,15 @@ func (p *Pool) Submit(spec Spec) (Job, error) {
 	cfg.Run.Recorder = rec
 	tracer := telemetry.NewTracer(0)
 	flight := p.armFlightRecorder(&cfg, tracer, rec)
+	// Arm learning-curve collection before planning, since cells capture the
+	// config by value. Tournament cells deposit into cfg.LearningCurves with
+	// full cell coordinates; plain experiment cells sample through the run
+	// observer, which carries policy and workload names only.
+	curves := rl.NewCurveSet()
+	cfg.LearningCurves = curves
+	cfg.Run.LearningObserver = func(pol, wl string, s *rl.LearningSampler) {
+		curves.Add(rl.RunCurve{Policy: pol, Workload: wl, Points: s.Points(), Summary: s.Summary()})
+	}
 	cells, assemble, err := p.plan(cfg, spec.Experiment)
 	if err != nil {
 		return Job{}, err
@@ -209,6 +226,7 @@ func (p *Pool) Submit(spec Spec) (Job, error) {
 	job := p.store.Create(spec, len(cells))
 	p.store.BindRecorder(job.ID, rec)
 	p.store.BindTracer(job.ID, tracer)
+	p.store.BindLearning(job.ID, curves)
 	flight.SetJob(job.ID)
 	jctx, jcancel := context.WithCancel(p.ctx)
 	p.store.BindCancel(job.ID, jcancel)
@@ -222,6 +240,7 @@ func (p *Pool) Submit(spec Spec) (Job, error) {
 		tracer:      tracer,
 		events:      rec,
 		flight:      flight,
+		curves:      curves,
 		rows:        make([]any, len(cells)),
 		errs:        make([]error, len(cells)),
 		remaining:   len(cells),
@@ -406,6 +425,7 @@ func (p *Pool) finalize(jr *jobRun) {
 	}
 	jr.tracer.End(jr.jobSpan, telemetry.Str("state", string(job.State)))
 	p.archiveTrace(jr)
+	p.archiveLearning(jr)
 }
 
 // OverloadedError is returned by Submit when the queued-cell depth has

@@ -13,6 +13,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/durable"
 	"repro/internal/policy"
+	"repro/internal/rl"
 	"repro/internal/telemetry"
 )
 
@@ -27,6 +28,9 @@ import (
 //	GET    /v1/jobs/{id}/events RL decision-event trace as JSONL
 //	GET    /v1/jobs/{id}/live   live SSE stream of decision epochs
 //	GET    /v1/jobs/{id}/trace  span trace (?format=chrome|jsonl)
+//	GET    /v1/jobs/{id}/learning learning curves: per-run convergence
+//	                              summaries as JSON, full per-epoch curves
+//	                              with ?format=jsonl
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/checkpoints        list stored policy checkpoints
 //	POST   /v1/checkpoints/{name} store learner state (rl.Agent JSON or a
@@ -81,6 +85,7 @@ func NewServer(store *Store, pool *Pool) *Server {
 	s.handle("GET /v1/jobs/{id}/events", "/v1/jobs/{id}/events", s.handleEvents)
 	s.handle("GET /v1/jobs/{id}/live", "/v1/jobs/{id}/live", s.handleLive)
 	s.handle("GET /v1/jobs/{id}/trace", "/v1/jobs/{id}/trace", s.handleTrace)
+	s.handle("GET /v1/jobs/{id}/learning", "/v1/jobs/{id}/learning", s.handleLearning)
 	s.handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.handleCancel)
 	s.handle("GET /v1/checkpoints", "/v1/checkpoints", s.handleCheckpointList)
 	s.handle("POST /v1/checkpoints/{name}", "/v1/checkpoints/{name}", s.handleCheckpointPut)
@@ -318,6 +323,79 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	// The write only fails when the client went away; nothing left to do.
 	_ = rec.WriteJSONL(w)
+}
+
+// handleLearning serves a job's sampled learning curves. The default JSON
+// body carries each sampled run's coordinates and convergence summary; the
+// full per-epoch curves stream as JSONL (one rl.RunCurve per line) with
+// ?format=jsonl. Live and recently finished jobs serve from the in-memory
+// curve set; evicted jobs fall back to the durable archive (-data-dir), the
+// same live-vs-archive split as the trace endpoint. Jobs whose cells run no
+// learner report zero runs.
+func (s *Server) handleLearning(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "jsonl" {
+		writeError(w, http.StatusBadRequest, "unknown learning format %q (want json or jsonl)", format)
+		return
+	}
+	var curves *rl.CurveSet
+	cs, ok := s.store.Learning(id)
+	switch {
+	case ok && cs != nil:
+		curves = cs
+	default:
+		ls := s.pool.LearningStore()
+		if ls == nil {
+			writeError(w, http.StatusNotFound, "unknown job %s", id)
+			return
+		}
+		data, err := ls.Load(id)
+		if errors.Is(err, durable.ErrNoLearning) {
+			writeError(w, http.StatusNotFound, "no learning curves for job %s", id)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "load learning curves: %v", err)
+			return
+		}
+		if curves, err = rl.DecodeCurvesJSONL(data); err != nil {
+			writeError(w, http.StatusInternalServerError, "decode learning curves: %v", err)
+			return
+		}
+	}
+	if format == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = curves.WriteJSONL(w) //nolint:errcheck // client gone; nothing left to do
+		return
+	}
+	runs := curves.Curves()
+	type runSummary struct {
+		Policy   string          `json:"policy"`
+		Workload string          `json:"workload"`
+		Seed     int64           `json:"seed,omitempty"`
+		Repeat   int             `json:"repeat,omitempty"`
+		Summary  rl.CurveSummary `json:"summary"`
+	}
+	summaries := make([]runSummary, len(runs))
+	for i, rc := range runs {
+		summaries[i] = runSummary{
+			Policy: rc.Policy, Workload: rc.Workload,
+			Seed: rc.Seed, Repeat: rc.Repeat, Summary: rc.Summary,
+		}
+	}
+	state := "archived"
+	if job, live := s.store.Get(id); live {
+		state = string(job.State)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":    id,
+		"state": state,
+		"runs":  summaries,
+	})
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/rl"
 	"repro/internal/telemetry"
 )
 
@@ -34,6 +35,9 @@ type record struct {
 	// tracer is the job's span tracer; bound by the pool at submission,
 	// exported by the trace endpoint.
 	tracer *telemetry.Tracer
+	// learning is the job's learning-curve set; bound by the pool at
+	// submission, exported by the learning endpoint.
+	learning *rl.CurveSet
 	// done is closed on the transition into a terminal state.
 	done chan struct{}
 }
@@ -50,10 +54,11 @@ type Store struct {
 	// journal, when attached, receives one durable record per lifecycle
 	// transition (submit, cell outcome, cancel request, finish, evict).
 	journal Journal
-	// onEvict, when set, observes each evicted job ID (the pool uses it to
-	// drop the job's archived trace alongside the in-memory state). Called
-	// with s.mu held, so the hook must not call back into the store.
-	onEvict func(id string)
+	// onEvict hooks observe each evicted job ID (the pool uses them to drop
+	// the job's archived trace and learning curves alongside the in-memory
+	// state). Called with s.mu held, so hooks must not call back into the
+	// store.
+	onEvict []func(id string)
 	log     *slog.Logger
 }
 
@@ -232,6 +237,27 @@ func (s *Store) BindTracer(id string, tracer *telemetry.Tracer) {
 	}
 }
 
+// BindLearning attaches the job's learning-curve set.
+func (s *Store) BindLearning(id string, curves *rl.CurveSet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.jobs[id]; ok {
+		rec.learning = curves
+	}
+}
+
+// Learning returns the job's learning-curve set (nil when none was bound;
+// the set itself is safe to snapshot while the job runs).
+func (s *Store) Learning(id string) (*rl.CurveSet, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return rec.learning, true
+}
+
 // Tracer returns the job's span tracer (nil when none was bound; the tracer
 // itself is safe to snapshot while the job runs).
 func (s *Store) Tracer(id string) (*telemetry.Tracer, bool) {
@@ -244,13 +270,13 @@ func (s *Store) Tracer(id string) (*telemetry.Tracer, bool) {
 	return rec.tracer, true
 }
 
-// SetOnEvict installs a hook observing evicted job IDs. Set before serving
-// traffic; the hook runs under the store lock and must not re-enter the
-// store.
+// SetOnEvict installs a hook observing evicted job IDs; repeated calls append
+// (every installed hook fires per eviction). Set before serving traffic;
+// hooks run under the store lock and must not re-enter the store.
 func (s *Store) SetOnEvict(fn func(id string)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.onEvict = fn
+	s.onEvict = append(s.onEvict, fn)
 }
 
 // EventsRecorder returns the job's decision-event recorder (nil when none
@@ -414,8 +440,8 @@ func (s *Store) evictLocked() int {
 			// Dropped from the durable state too, so compaction cannot
 			// resurrect an evicted job and the snapshot stays bounded.
 			s.journalLocked(durable.Record{Kind: durable.KindEvict, Job: id})
-			if s.onEvict != nil {
-				s.onEvict(id)
+			for _, fn := range s.onEvict {
+				fn(id)
 			}
 			n++
 		}

@@ -3,9 +3,7 @@ package sim
 import (
 	"sync"
 
-	"repro/internal/reliability"
 	"repro/internal/telemetry"
-	"repro/internal/trace"
 )
 
 // Process-wide simulation metrics in the default telemetry registry. Every
@@ -34,14 +32,4 @@ func initSimMetrics() {
 		mPeakTemp = reg.Histogram("sim_peak_temp_celsius", "Per-run peak temperature over the warm trace.", tempBuckets)
 		mAvgTemp = reg.Histogram("sim_avg_temp_celsius", "Per-run average temperature over the warm trace.", tempBuckets)
 	})
-}
-
-// countThermalCycles tallies rainflow cycles over every core of the warm
-// trace (full and half cycles each count as one event).
-func countThermalCycles(mt *trace.MultiTrace) int64 {
-	var n int64
-	for _, s := range mt.Cores {
-		n += int64(len(reliability.Rainflow(s.Values)))
-	}
-	return n
 }

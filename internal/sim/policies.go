@@ -91,6 +91,7 @@ type ProposedPolicy struct {
 	rec       *telemetry.Recorder
 	tracer    *telemetry.Tracer
 	traceSpan telemetry.SpanID
+	curve     *rl.LearningSampler
 }
 
 // Name returns "proposed".
@@ -113,6 +114,9 @@ func (pp *ProposedPolicy) Attach(p *platform.Platform) error {
 	if pp.tracer != nil {
 		ctl.AttachTracer(pp.tracer, pp.traceSpan)
 	}
+	if pp.curve != nil {
+		ctl.AttachLearningSampler(pp.curve)
+	}
 	pp.ctl = ctl
 	return nil
 }
@@ -134,6 +138,25 @@ func (pp *ProposedPolicy) AttachTracer(t *telemetry.Tracer, runSpan telemetry.Sp
 	if pp.ctl != nil {
 		pp.ctl.AttachTracer(t, runSpan)
 	}
+}
+
+// AttachLearningSampler enables per-epoch learning-curve sampling on the
+// controller, implementing sim.LearningAttacher. Safe to call before or
+// after Attach.
+func (pp *ProposedPolicy) AttachLearningSampler(s *rl.LearningSampler) {
+	pp.curve = s
+	if pp.ctl != nil {
+		pp.ctl.AttachLearningSampler(s)
+	}
+}
+
+// CurrentDecision forwards the controller's live decision (epoch, action),
+// implementing sim.DecisionInfoProvider for damage attribution.
+func (pp *ProposedPolicy) CurrentDecision() (epoch, action int) {
+	if pp.ctl == nil {
+		return 0, -1
+	}
+	return pp.ctl.CurrentDecision()
 }
 
 // Tick drives the controller.

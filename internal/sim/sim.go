@@ -62,6 +62,16 @@ type RunConfig struct {
 	// run completes, for policies that expose one (the RL controller). The
 	// thermsim -save-agent flag uses it to persist what the run learned.
 	AgentObserver func(*rl.Agent)
+	// LearningObserver, when non-nil, arms learning-curve sampling on
+	// policies that support it (LearningAttacher): a fresh sampler is
+	// attached before the run, finalized after it, and handed to the
+	// observer with the policy and workload names. When the policy also
+	// reports its live decision (DecisionInfoProvider), closing thermal
+	// cycles are attributed to the decision epoch and action in force.
+	// Sampling is observation-only — it never touches a policy's
+	// action-selection RNG — so enabling it leaves every other result field
+	// bit-identical. Nil disables sampling with zero overhead.
+	LearningObserver func(policy, workload string, s *rl.LearningSampler)
 	// Tracer, when non-nil, collects hierarchical run/window/epoch spans;
 	// TraceParent is the span the run span nests under (0 for a root span).
 	// A nil Tracer disables tracing with zero overhead on the step loop.
@@ -112,6 +122,14 @@ type Result struct {
 	// CombinedMTTF merges both wear-out mechanisms under the
 	// sum-of-failure-rates model (Section 4.1), years.
 	CombinedMTTF float64
+	// CoreCyclingStress is the per-core Eq. 6 plastic fatigue stress over
+	// the warm window — the numerator basis of the cycling MTTF before the
+	// min-over-cores reduction.
+	CoreCyclingStress []float64
+	// CoreDamageShare normalizes CoreCyclingStress to sum to 1 (which cores
+	// absorbed the cycling damage); all zeros when no core accumulated
+	// stress.
+	CoreDamageShare []float64
 	// DynamicEnergyJ and StaticEnergyJ are the metered energies.
 	DynamicEnergyJ, StaticEnergyJ float64
 	// AvgDynPowerW is the average dynamic power over the run.
@@ -140,6 +158,20 @@ type AgentProvider interface {
 // under the run span (the proposed RL controller).
 type TracerAttacher interface {
 	AttachTracer(t *telemetry.Tracer, runSpan telemetry.SpanID)
+}
+
+// LearningAttacher is implemented by policies that can drive a per-epoch
+// learning-curve sampler (the live Q-table learners; frozen policies like the
+// distilled table have no curve to sample).
+type LearningAttacher interface {
+	AttachLearningSampler(*rl.LearningSampler)
+}
+
+// DecisionInfoProvider is implemented by policies that can report which
+// decision epoch (and applied action) is currently steering the platform,
+// enabling thermal-cycle damage attribution.
+type DecisionInfoProvider interface {
+	CurrentDecision() (epoch, action int)
 }
 
 // Run executes the workload under the policy until completion (or MaxSimS)
@@ -176,10 +208,20 @@ func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) 
 			ta.AttachTracer(cfg.Tracer, runSpan)
 		}
 	}
+	var learn *rl.LearningSampler
+	if cfg.LearningObserver != nil {
+		if la, ok := policy.(LearningAttacher); ok {
+			learn = rl.NewLearningSampler(0)
+			la.AttachLearningSampler(learn)
+		}
+	}
 	guard := newRunGuard(cfg, policy.Name()+"/"+work.Name())
 	windows := newWindowAgg(cfg, runSpan)
 	var mt, pt *trace.MultiTrace
 	var sc *scalarCollector
+	// at is an attribution-only streaming feed used when the trace is
+	// retained (sc == nil) but a sampler wants per-cycle damage attribution.
+	var at *scalarCollector
 	if cfg.DiscardTrace {
 		sc = newScalarCollector(cfg, p.NumCores())
 	} else {
@@ -190,6 +232,22 @@ func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) 
 		capacity := traceCapacity(cfg, work)
 		mt = trace.NewMultiTraceCap(p.NumCores(), cfg.RecordIntervalS, capacity)
 		pt = trace.NewMultiTraceCap(p.NumCores(), cfg.RecordIntervalS, capacity)
+		if learn != nil {
+			if _, ok := policy.(DecisionInfoProvider); ok {
+				at = newScalarCollector(cfg, p.NumCores())
+			}
+		}
+	}
+	if learn != nil {
+		if dp, ok := policy.(DecisionInfoProvider); ok {
+			feed := sc
+			if feed == nil {
+				feed = at
+			}
+			if feed != nil {
+				armAttribution(feed.accs, dp, learn)
+			}
+		}
 	}
 	nextRecord := 0.0
 	steps := int64(0)
@@ -206,6 +264,9 @@ func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) 
 			} else {
 				mt.Append(temps)
 				pt.Append(power)
+				if at != nil {
+					at.push(temps)
+				}
 			}
 			if guard != nil {
 				guard.sample(p.Now(), temps)
@@ -230,7 +291,16 @@ func Run(cfg RunConfig, work workload.Workload, policy Policy) (*Result, error) 
 			}
 		}
 	}
+	if at != nil {
+		// Flush the attribution feed's residual half cycles (attributed to
+		// the final decision, the one still in force when the run ended).
+		at.drain(cfg)
+	}
 	res := collect(cfg, p, mt, pt, sc, policy.Name(), work.Name())
+	if learn != nil {
+		learn.Finalize()
+		cfg.LearningObserver(policy.Name(), work.Name(), learn)
+	}
 	if guard != nil {
 		guard.finals(res)
 	}
@@ -269,9 +339,25 @@ func collect(cfg RunConfig, p *platform.Platform, mt, pt *trace.MultiTrace, sc *
 		warm := trimWarmup(mt, cfg.WarmupSkipS)
 		res.AvgTempC = warm.AverageTemperature()
 		res.PeakTempC = warm.PeakTemperature()
-		res.CyclingMTTF, res.AgingMTTF = ChipMTTF(cfg, warm)
-		cycles = countThermalCycles(warm)
+		// One rainflow pass per core feeds the cycle tally, the per-core
+		// stress surface, and the chip MTTF reduction alike (ChipMTTF would
+		// redo the counting per metric).
+		res.CyclingMTTF, res.AgingMTTF = math.Inf(1), math.Inf(1)
+		res.CoreCyclingStress = make([]float64, len(warm.Cores))
+		for i, s := range warm.Cores {
+			rf := reliability.Rainflow(s.Values)
+			cycles += int64(len(rf))
+			stress := cfg.Cycling.ThermalStress(rf)
+			res.CoreCyclingStress[i] = stress
+			if c := cfg.Cycling.CyclingMTTFFromStress(stress, float64(len(s.Values))*warm.IntervalS); c < res.CyclingMTTF {
+				res.CyclingMTTF = c
+			}
+			if a := cfg.Aging.AgingMTTFFromSeries(s.Values); a < res.AgingMTTF {
+				res.AgingMTTF = a
+			}
+		}
 	}
+	res.CoreDamageShare = damageShares(res.CoreCyclingStress)
 	res.CombinedMTTF = reliability.CombinedMTTF(res.CyclingMTTF, res.AgingMTTF)
 
 	mRuns.Inc()
@@ -428,7 +514,59 @@ func (sc *scalarCollector) finish(cfg RunConfig, res *Result) int64 {
 	}
 	res.PeakTempC = peak
 	res.CyclingMTTF, res.AgingMTTF = cycling, aging
+	res.CoreCyclingStress = make([]float64, len(sc.accs))
+	for c := range sc.accs {
+		res.CoreCyclingStress[c] = sc.accs[c].Stress()
+	}
 	return cycles
+}
+
+// drain closes an attribution-only collector: replay a still-buffered head
+// (run too short for the warmup trim) and flush every core's residual half
+// cycles through the rainflow streams so the on-cycle hooks see them.
+func (sc *scalarCollector) drain(cfg RunConfig) {
+	if sc.buffering {
+		for i := 0; i < sc.head.Len(); i++ {
+			sc.feedAt(sc.head, i)
+		}
+		sc.head = nil
+	}
+	for c := range sc.accs {
+		sc.accs[c].Finish(cfg.RecordIntervalS)
+	}
+}
+
+// armAttribution points every core accumulator's cycle hook at the sampler,
+// pinning each closing cycle's stress delta to the decision in force.
+func armAttribution(accs []*reliability.MTTFAccumulator, dp DecisionInfoProvider, learn *rl.LearningSampler) {
+	for c := range accs {
+		core := c
+		accs[core].SetOnCycle(func(_ reliability.Cycle, stressDelta float64) {
+			if stressDelta > 0 {
+				_, action := dp.CurrentDecision()
+				learn.ObserveCycleDamage(core, action, stressDelta)
+			}
+		})
+	}
+}
+
+// damageShares normalizes per-core stress to shares summing to 1; a zero
+// total yields all-zero shares (no plastic cycling damage to attribute).
+func damageShares(stress []float64) []float64 {
+	if len(stress) == 0 {
+		return nil
+	}
+	total := 0.0
+	for _, v := range stress {
+		total += v
+	}
+	shares := make([]float64, len(stress))
+	if total > 0 {
+		for i, v := range stress {
+			shares[i] = v / total
+		}
+	}
+	return shares
 }
 
 // ChipMTTF computes the chip-level cycling and aging MTTFs (years) from an
