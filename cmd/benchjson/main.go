@@ -51,6 +51,10 @@ type result struct {
 	// VsBaseNsPct is the ns/op delta against the -compare baseline, recorded
 	// only when -o and -compare run together (e.g. +3.1 = 3.1% slower).
 	VsBaseNsPct *float64 `json:"vs_base_ns_pct,omitempty"`
+	// Metrics holds any custom b.ReportMetric units (e.g. "sims/s",
+	// "agingMTTFgain_x") so a benchmark's headline numbers survive into the
+	// summary file alongside the timing columns. Never gated on.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -264,6 +268,13 @@ func parseBenchLine(line string) (string, result, bool) {
 		case "allocs/op":
 			a := v
 			r.AllocsPerOp = &a
+		case "MB/s":
+			// Throughput from b.SetBytes; not a benchmark-authored metric.
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[fields[i+1]] = v
 		}
 	}
 	return name, r, seen

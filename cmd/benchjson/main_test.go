@@ -21,6 +21,19 @@ func TestParseBenchLine(t *testing.T) {
 	}
 }
 
+func TestParseBenchLineCustomMetrics(t *testing.T) {
+	_, r, ok := parseBenchLine("BenchmarkBatchCampaign/batched-8 \t 14 \t 77000000 ns/op \t 851 sims/s \t 4096 B/op \t 12 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Metrics["sims/s"] != 851 {
+		t.Errorf("metrics = %v, want sims/s=851", r.Metrics)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 4096 {
+		t.Errorf("B/op = %v (custom metric must not displace memory stats)", r.BytesPerOp)
+	}
+}
+
 func TestParseBenchLineNoBenchmem(t *testing.T) {
 	name, r, ok := parseBenchLine("BenchmarkStep-16 \t 504 \t 2230912 ns/op")
 	if !ok || name != "BenchmarkStep" {

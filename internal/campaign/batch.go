@@ -1,0 +1,33 @@
+package campaign
+
+import "repro/internal/experiments"
+
+// PlanBatches partitions a planned cell list into lockstep-batchable groups
+// and a scalar remainder. A cell is batchable when its planner exposed the
+// prepare/finish split (Cell.Prepare != nil) — one simulation per cell whose
+// lane can join a sim.RunBatch. Groups preserve plan order and hold at most
+// maxLanes cells (maxLanes <= 0 means unbounded); thermal-configuration
+// compatibility is NOT decided here — sim.RunBatch sub-groups lanes by
+// (floorplan, tick) itself and falls back per lane where needed — so a group
+// is simply "cells that may share one lockstep pass".
+//
+// Scalar indices are cells without a prepare split (seed studies, single-shot
+// figure experiments): they keep running through Cell.Run.
+func PlanBatches(cells []experiments.Cell, maxLanes int) (groups [][]int, scalar []int) {
+	var cur []int
+	for i := range cells {
+		if cells[i].Prepare == nil {
+			scalar = append(scalar, i)
+			continue
+		}
+		cur = append(cur, i)
+		if maxLanes > 0 && len(cur) == maxLanes {
+			groups = append(groups, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups, scalar
+}

@@ -1,0 +1,52 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func planCells(batchable ...bool) []experiments.Cell {
+	cells := make([]experiments.Cell, len(batchable))
+	for i, b := range batchable {
+		if b {
+			cells[i].Prepare = func(ctx context.Context) (sim.BatchRun, experiments.FinishCell, error) {
+				panic("planning must not invoke Prepare")
+			}
+		}
+	}
+	return cells
+}
+
+func TestPlanBatches(t *testing.T) {
+	groups, scalar := PlanBatches(planCells(true, true, false, true, true, true), 3)
+	if want := [][]int{{0, 1, 3}, {4, 5}}; !reflect.DeepEqual(groups, want) {
+		t.Errorf("groups = %v, want %v", groups, want)
+	}
+	if want := []int{2}; !reflect.DeepEqual(scalar, want) {
+		t.Errorf("scalar = %v, want %v", scalar, want)
+	}
+}
+
+func TestPlanBatchesUnbounded(t *testing.T) {
+	groups, scalar := PlanBatches(planCells(true, true, true), 0)
+	if want := [][]int{{0, 1, 2}}; !reflect.DeepEqual(groups, want) {
+		t.Errorf("groups = %v, want %v", groups, want)
+	}
+	if scalar != nil {
+		t.Errorf("scalar = %v, want none", scalar)
+	}
+}
+
+func TestPlanBatchesAllScalar(t *testing.T) {
+	groups, scalar := PlanBatches(planCells(false, false), 4)
+	if groups != nil {
+		t.Errorf("groups = %v, want none", groups)
+	}
+	if want := []int{0, 1}; !reflect.DeepEqual(scalar, want) {
+		t.Errorf("scalar = %v, want %v", scalar, want)
+	}
+}

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// TestPoolBatchedTournamentMatchesUnbatched is the pool-level lockstep
+// guarantee: the same tournament submitted to a batching pool and to one
+// with batching disabled (every cell on its own worker goroutine) produces
+// bit-identical leaderboard rows in the same order.
+func TestPoolBatchedTournamentMatchesUnbatched(t *testing.T) {
+	doc := json.RawMessage(`{
+		"name": "batch-ci",
+		"policies": ["linux-ondemand", "distilled"],
+		"workloads": ["mpegdec"],
+		"seeds": [1, 2]
+	}`)
+	run := func(lanes int) []campaign.Row {
+		t.Helper()
+		store := NewStore(0)
+		pool := NewPool(store, 4)
+		pool.SetBatchLanes(lanes)
+		pool.Start()
+		t.Cleanup(pool.Stop)
+		job, err := pool.Submit(Spec{Experiment: campaign.Experiment, Campaign: doc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := waitDone(t, pool, job.ID)
+		if final.State != StateDone {
+			t.Fatalf("lanes=%d: job finished %s: %s", lanes, final.State, final.Error)
+		}
+		rowsAny, ok := store.Rows(job.ID)
+		if !ok {
+			t.Fatalf("lanes=%d: rows missing", lanes)
+		}
+		return rowsAny.([]campaign.Row)
+	}
+	batched := run(DefaultBatchLanes)
+	unbatched := run(1)
+	if len(batched) == 0 {
+		t.Fatal("no rows produced")
+	}
+	if !reflect.DeepEqual(batched, unbatched) {
+		t.Errorf("batched and unbatched leaderboards differ:\nbatched:   %+v\nunbatched: %+v", batched, unbatched)
+	}
+}
+
+// TestPlanTasksGrouping pins the batch planner's shapes: batchable cells
+// coalesce up to the lane cap, scalar cells stay single, a cluster runner or
+// a lane cap of one disables grouping entirely.
+func TestPlanTasksGrouping(t *testing.T) {
+	mkCells := func(batchable ...bool) []experiments.Cell {
+		cells := make([]experiments.Cell, len(batchable))
+		for i, b := range batchable {
+			cells[i] = experiments.Cell{Key: "c"}
+			if b {
+				cells[i].Prepare = func(context.Context) (sim.BatchRun, experiments.FinishCell, error) {
+					panic("planner must not invoke Prepare")
+				}
+			}
+		}
+		return cells
+	}
+	shapes := func(tasks []task) [][]int {
+		out := make([][]int, len(tasks))
+		for i, tk := range tasks {
+			for _, it := range tk.items {
+				out[i] = append(out[i], it.idx)
+			}
+		}
+		return out
+	}
+	store := NewStore(0)
+	p := NewPool(store, 1)
+	jr := &jobRun{}
+
+	p.SetBatchLanes(3)
+	got := shapes(p.planTasks(jr, mkCells(true, true, false, true, true, true)))
+	want := [][]int{{0, 1, 3}, {2}, {4, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("planTasks shapes = %v, want %v", got, want)
+	}
+
+	p.SetBatchLanes(1)
+	got = shapes(p.planTasks(jr, mkCells(true, true)))
+	want = [][]int{{0}, {1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("lanes=1 shapes = %v, want %v", got, want)
+	}
+
+	p.SetBatchLanes(8)
+	p.SetCellRunner(func(ctx context.Context, job string, spec Spec, idx int, cell experiments.Cell) (any, string, error) {
+		return nil, "", nil
+	})
+	got = shapes(p.planTasks(jr, mkCells(true, true, true)))
+	want = [][]int{{0}, {1}, {2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("remote-runner shapes = %v, want %v", got, want)
+	}
+
+	// A wide pool shrinks the lane cap so every worker gets a task: 8 cells
+	// on 4 workers must not collapse into one 8-lane batch.
+	wide := NewPool(store, 4)
+	wide.SetBatchLanes(64)
+	got = shapes(wide.planTasks(jr, mkCells(true, true, true, true, true, true, true, true)))
+	want = [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("worker-aware shapes = %v, want %v", got, want)
+	}
+}

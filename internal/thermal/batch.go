@@ -1,0 +1,299 @@
+package thermal
+
+import "fmt"
+
+// laneBlock is how many lanes the streaming batch kernel advances per pass
+// over the A/B matrix rows. Within a block the 2n-float row is loaded once and
+// applied to every lane while it is L1-resident, so the O(n^2) matrix traffic
+// is amortized across laneBlock simulations instead of paid once per lane.
+// Eight lanes keep the per-block working set (block temps + powers + one row)
+// comfortably inside L1 for floorplans up to a few hundred nodes.
+const laneBlock = 8
+
+// streamNodeThreshold selects between the two generic kernels: below it the
+// 2n² matrix (16n² bytes) is resident in a core's private cache anyway, so the
+// lane-blocked row streaming buys nothing and its extra index arithmetic only
+// costs — each lane then runs the scalar kernel's exact loop instead. Above
+// it (16n² ≳ 256 KiB) a per-lane pass would re-stream the matrix from shared
+// cache once per lane, and the blocked kernel's once-per-block row loads win.
+const streamNodeThreshold = 128
+
+// BatchStepper advances K independent thermal scenarios that share one
+// (Network, dt) configuration in a single structure-of-arrays pass. Lane
+// states are stored flattened lane-major (temps[k*n : (k+1)*n] is lane k), the
+// precomputed A/B/c update is shared through the factorization cache, and the
+// inner kernel is blocked over lanes so the matrix streams from cache once per
+// block instead of once per simulation.
+//
+// Each lane is exposed as a LaneStepper implementing the Stepper interface,
+// with one deliberate difference from FixedStepper: LaneStepper.Step only
+// stages the power vector and marks the lane pending — the arithmetic happens
+// when the owner calls Advance, which executes every pending lane fused.
+// Until Advance runs, a pending lane's Temperatures still report the
+// pre-step state. Drivers therefore tick all lanes, call Advance once, and
+// only then observe temperatures (sim.RunBatch structures its loop this way).
+//
+// Per lane, Advance performs bit-for-bit the same float64 operation sequence
+// as FixedStepper.Step — same even/odd accumulator chains, same row order —
+// so a batched simulation's trajectory is bit-identical to the scalar path.
+// Advance performs no allocation. BatchStepper is not safe for concurrent
+// use.
+type BatchStepper struct {
+	net   *Network
+	up    *fixedUpdate
+	dt    float64
+	n     int
+	lanes int
+	// Lane-major state: lane k owns temps/next/pows[k*n : (k+1)*n].
+	temps, next, pows []float64
+	pending           []bool
+	run               []int // pending-lane scratch for Advance
+	lane              []LaneStepper
+}
+
+// NewBatchStepper builds a batch of `lanes` independent scenarios over the
+// given network at the fixed step dt. All lanes start at ambient. The A/B/c
+// update is obtained from the shared factorization cache, so a BatchStepper
+// for a configuration that already has a FixedStepper (or another batch)
+// costs no additional factorization.
+func NewBatchStepper(net *Network, dt float64, lanes int) (*BatchStepper, error) {
+	if lanes <= 0 {
+		return nil, fmt.Errorf("thermal: batch stepper: lanes must be positive, got %d", lanes)
+	}
+	u, err := sharedUpdate(net, dt)
+	if err != nil {
+		return nil, err
+	}
+	n := u.n
+	b := &BatchStepper{
+		net:     net,
+		up:      u,
+		dt:      dt,
+		n:       n,
+		lanes:   lanes,
+		temps:   make([]float64, lanes*n),
+		next:    make([]float64, lanes*n),
+		pows:    make([]float64, lanes*n),
+		pending: make([]bool, lanes),
+		run:     make([]int, 0, lanes),
+		lane:    make([]LaneStepper, lanes),
+	}
+	for k := range b.lane {
+		b.lane[k] = LaneStepper{b: b, k: k}
+	}
+	b.Reset()
+	return b, nil
+}
+
+// Lanes returns the number of lanes in the batch.
+func (b *BatchStepper) Lanes() int { return b.lanes }
+
+// Dt returns the fixed step size the update was precomputed for.
+func (b *BatchStepper) Dt() float64 { return b.dt }
+
+// NumNodes returns the per-lane node count.
+func (b *BatchStepper) NumNodes() int { return b.n }
+
+// Lane returns lane k's Stepper view.
+func (b *BatchStepper) Lane(k int) *LaneStepper { return &b.lane[k] }
+
+// Reset sets every lane back to ambient and clears pending steps.
+func (b *BatchStepper) Reset() {
+	amb := b.net.Ambient()
+	for i := range b.temps {
+		b.temps[i] = amb
+	}
+	for k := range b.pending {
+		b.pending[k] = false
+	}
+}
+
+// Pending returns how many lanes have a staged step awaiting Advance.
+func (b *BatchStepper) Pending() int {
+	c := 0
+	for _, p := range b.pending {
+		if p {
+			c++
+		}
+	}
+	return c
+}
+
+// Advance executes every staged lane step in one fused pass and clears the
+// pending marks. Lanes without a staged step are untouched, so a batch whose
+// lanes finish at different times simply shrinks its working set. Advance
+// performs no allocation.
+func (b *BatchStepper) Advance() {
+	run := b.run[:0]
+	for k, pend := range b.pending {
+		if pend {
+			run = append(run, k)
+		}
+	}
+	b.run = run[:0]
+	if len(run) == 0 {
+		return
+	}
+	switch {
+	case b.n == 6:
+		b.advance6(run)
+	case b.n > streamNodeThreshold:
+		b.advanceStream(run)
+	default:
+		b.advanceGeneric(run)
+	}
+	n := b.n
+	for _, k := range run {
+		copy(b.temps[k*n:k*n+n], b.next[k*n:k*n+n])
+		b.pending[k] = false
+	}
+}
+
+// advanceGeneric is the cache-resident lane kernel: each lane runs the exact
+// row loop of FixedStepper.Step (same even/odd accumulator chains, same
+// summation order) over its own slice of the SoA state, so a batched step
+// costs what a scalar step costs and trajectories stay bit-exact with the
+// scalar path.
+func (b *BatchStepper) advanceGeneric(run []int) {
+	n := b.n
+	ab, c := b.up.ab, b.up.c[:n]
+	for _, k := range run {
+		// The two-step reslice gives each view a compiler-provable length of
+		// exactly n, so the bounds checks vanish from the matvec loop just as
+		// they do in FixedStepper.Step.
+		t := b.temps[k*n:][:n]
+		p := b.pows[k*n:][:n]
+		next := b.next[k*n:][:n]
+		for i := 0; i < n; i++ {
+			row := ab[2*n*i : 2*n*i+2*n]
+			a, bb := row[:n], row[n:2*n]
+			var sa0, sa1, sb0, sb1 float64
+			j := 0
+			for ; j+1 < n; j += 2 {
+				sa0 += a[j] * t[j]
+				sa1 += a[j+1] * t[j+1]
+				sb0 += bb[j] * p[j]
+				sb1 += bb[j+1] * p[j+1]
+			}
+			if j < n {
+				sa0 += a[j] * t[j]
+				sb0 += bb[j] * p[j]
+			}
+			next[i] = c[i] + ((sa0 + sa1) + (sb0 + sb1))
+		}
+	}
+}
+
+// advanceStream is the blocked streaming kernel for matrices too large for a
+// core's private cache: rows outer, lanes inner within a laneBlock-sized
+// block, so each 2n-float [A|B] row is loaded once per block instead of once
+// per lane. The per-lane arithmetic is identical to advanceGeneric — only the
+// traversal order over (row, lane) differs, which does not affect any lane's
+// float64 operation sequence.
+func (b *BatchStepper) advanceStream(run []int) {
+	n := b.n
+	ab, c := b.up.ab, b.up.c
+	for blk := 0; blk < len(run); blk += laneBlock {
+		end := blk + laneBlock
+		if end > len(run) {
+			end = len(run)
+		}
+		block := run[blk:end]
+		for i := 0; i < n; i++ {
+			row := ab[2*n*i : 2*n*i+2*n]
+			a, bb := row[:n], row[n:2*n]
+			ci := c[i]
+			for _, k := range block {
+				t := b.temps[k*n : k*n+n]
+				p := b.pows[k*n : k*n+n]
+				var sa0, sa1, sb0, sb1 float64
+				j := 0
+				for ; j+1 < n; j += 2 {
+					sa0 += a[j] * t[j]
+					sa1 += a[j+1] * t[j+1]
+					sb0 += bb[j] * p[j]
+					sb1 += bb[j+1] * p[j+1]
+				}
+				if j < n {
+					sa0 += a[j] * t[j]
+					sb0 += bb[j] * p[j]
+				}
+				b.next[k*n+i] = ci + ((sa0 + sa1) + (sb0 + sb1))
+			}
+		}
+	}
+}
+
+// advance6 is the quad-core (6-node) batch kernel: the whole 72-float matrix
+// is L1-resident, so blocking buys nothing and each lane reuses the unrolled
+// row6 kernel — the same arithmetic FixedStepper.step6 runs.
+func (b *BatchStepper) advance6(run []int) {
+	ab := b.up.ab
+	c := (*[6]float64)(b.up.c)
+	for _, k := range run {
+		t := (*[6]float64)(b.temps[k*6 : k*6+6])
+		p := (*[6]float64)(b.pows[k*6 : k*6+6])
+		next := b.next[k*6 : k*6+6]
+		next[0] = row6((*[12]float64)(ab[0:12]), t, p, c[0])
+		next[1] = row6((*[12]float64)(ab[12:24]), t, p, c[1])
+		next[2] = row6((*[12]float64)(ab[24:36]), t, p, c[2])
+		next[3] = row6((*[12]float64)(ab[36:48]), t, p, c[3])
+		next[4] = row6((*[12]float64)(ab[48:60]), t, p, c[4])
+		next[5] = row6((*[12]float64)(ab[60:72]), t, p, c[5])
+	}
+}
+
+// LaneStepper is one lane's Stepper view of a BatchStepper. Step stages the
+// power vector and defers the arithmetic to the owning batch's Advance; see
+// the BatchStepper contract for the required driver loop shape.
+type LaneStepper struct {
+	b *BatchStepper
+	k int
+}
+
+var _ Stepper = (*LaneStepper)(nil)
+
+// Step validates dt and the power vector, stages the power into the batch
+// state and marks the lane pending. The temperature update happens at the
+// next BatchStepper.Advance.
+func (l *LaneStepper) Step(dt float64, p []float64) error {
+	b := l.b
+	if dt != b.dt {
+		return fmt.Errorf("thermal: batch lane: got dt %g, precomputed for %g", dt, b.dt)
+	}
+	if len(p) != b.n {
+		return fmt.Errorf("thermal: batch lane: power vector length %d != node count %d", len(p), b.n)
+	}
+	copy(b.pows[l.k*b.n:(l.k+1)*b.n], p)
+	b.pending[l.k] = true
+	return nil
+}
+
+// Temperatures returns the lane's current node temperatures (aliases batch
+// state; callers must not modify it). A staged-but-not-advanced lane still
+// reports its pre-step temperatures.
+func (l *LaneStepper) Temperatures() []float64 {
+	return l.b.temps[l.k*l.b.n : (l.k+1)*l.b.n]
+}
+
+// Temperature returns node i's temperature in this lane.
+func (l *LaneStepper) Temperature(i int) float64 { return l.b.temps[l.k*l.b.n+i] }
+
+// SetTemperatures overwrites the lane's state vector.
+func (l *LaneStepper) SetTemperatures(t []float64) error {
+	if len(t) != l.b.n {
+		return fmt.Errorf("thermal: batch lane: length %d != node count %d", len(t), l.b.n)
+	}
+	copy(l.b.temps[l.k*l.b.n:(l.k+1)*l.b.n], t)
+	return nil
+}
+
+// Reset sets the lane back to ambient and drops any staged step.
+func (l *LaneStepper) Reset() {
+	amb := l.b.net.Ambient()
+	t := l.b.temps[l.k*l.b.n : (l.k+1)*l.b.n]
+	for i := range t {
+		t[i] = amb
+	}
+	l.b.pending[l.k] = false
+}

@@ -1,0 +1,207 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// drive builds deterministic per-lane power vectors so batch-vs-scalar
+// comparisons exercise distinct trajectories per lane.
+func drivePower(dst []float64, lane, step int) {
+	for i := range dst {
+		dst[i] = 2 + 0.5*float64(lane) + 0.25*math.Sin(float64(step)*0.1+float64(i)+float64(lane))
+	}
+}
+
+func testBatchMatchesScalar(t *testing.T, net *Network, dt float64, lanes, steps int) {
+	t.Helper()
+	n := net.NumNodes()
+	b, err := NewBatchStepper(net, dt, lanes)
+	if err != nil {
+		t.Fatalf("NewBatchStepper: %v", err)
+	}
+	scalars := make([]*FixedStepper, lanes)
+	for k := range scalars {
+		s, err := NewFixedStepper(net, dt)
+		if err != nil {
+			t.Fatalf("NewFixedStepper: %v", err)
+		}
+		scalars[k] = s
+	}
+	p := make([]float64, n)
+	for step := 0; step < steps; step++ {
+		for k := 0; k < lanes; k++ {
+			// Deactivate lane 1 halfway through to cover shrinking batches.
+			if lanes > 2 && k == 1 && step >= steps/2 {
+				continue
+			}
+			drivePower(p, k, step)
+			if err := b.Lane(k).Step(dt, p); err != nil {
+				t.Fatalf("lane %d step: %v", k, err)
+			}
+			if err := scalars[k].Step(dt, p); err != nil {
+				t.Fatalf("scalar %d step: %v", k, err)
+			}
+		}
+		b.Advance()
+		for k := 0; k < lanes; k++ {
+			bt, st := b.Lane(k).Temperatures(), scalars[k].Temperatures()
+			for i := 0; i < n; i++ {
+				if bt[i] != st[i] {
+					t.Fatalf("step %d lane %d node %d: batch %v != scalar %v (diff %g)",
+						step, k, i, bt[i], st[i], bt[i]-st[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBatchStepperBitIdenticalQuadCore(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	for _, lanes := range []int{1, 3, 8} {
+		testBatchMatchesScalar(t, fp.Net, 0.01, lanes, 200)
+	}
+}
+
+func TestBatchStepperBitIdenticalGrid(t *testing.T) {
+	fp := GridFloorplan(4, 4, DefaultFloorplanConfig())
+	for _, lanes := range []int{1, 3, 8, 11} {
+		testBatchMatchesScalar(t, fp.Net, 0.01, lanes, 100)
+	}
+}
+
+func TestBatchStepperBitIdenticalLargeGrid(t *testing.T) {
+	// 12x12 puts the node count past streamNodeThreshold so the blocked
+	// streaming kernel (rather than the per-lane cache-resident one) is the
+	// path under test.
+	fp := GridFloorplan(12, 12, DefaultFloorplanConfig())
+	if n := fp.Net.NumNodes(); n <= streamNodeThreshold {
+		t.Fatalf("grid has %d nodes; need > %d to exercise advanceStream", n, streamNodeThreshold)
+	}
+	for _, lanes := range []int{3, 11} {
+		testBatchMatchesScalar(t, fp.Net, 0.01, lanes, 25)
+	}
+}
+
+func TestBatchStepperSharesUpdate(t *testing.T) {
+	cfg := DefaultFloorplanConfig()
+	a := GridFloorplan(3, 3, cfg)
+	b := GridFloorplan(3, 3, cfg)
+	s1, err := NewFixedStepper(a.Net, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewFixedStepper(b.Net, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &s1.ab[0] != &s2.ab[0] {
+		t.Error("two FixedSteppers with value-identical configs should share one cached update")
+	}
+	bs, err := NewBatchStepper(b.Net, 0.01, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &bs.up.ab[0] != &s1.ab[0] {
+		t.Error("BatchStepper should share the cached update with FixedStepper")
+	}
+	// A different dt must not share.
+	s3, err := NewFixedStepper(a.Net, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &s3.ab[0] == &s1.ab[0] {
+		t.Error("different dt must not share a cached update")
+	}
+}
+
+func TestBatchStepperDeferredStepContract(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	b, err := NewBatchStepper(fp.Net, 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := b.Lane(0)
+	before := append([]float64(nil), lane.Temperatures()...)
+	p := make([]float64, fp.Net.NumNodes())
+	drivePower(p, 0, 0)
+	if err := lane.Step(0.01, p); err != nil {
+		t.Fatal(err)
+	}
+	// Staged but not advanced: temperatures unchanged.
+	for i, v := range lane.Temperatures() {
+		if v != before[i] {
+			t.Fatalf("staged step mutated temperatures before Advance (node %d)", i)
+		}
+	}
+	if got := b.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	b.Advance()
+	if got := b.Pending(); got != 0 {
+		t.Fatalf("Pending after Advance = %d, want 0", got)
+	}
+	changed := false
+	for i, v := range lane.Temperatures() {
+		if v != before[i] {
+			changed = true
+			_ = i
+		}
+	}
+	if !changed {
+		t.Fatal("Advance did not update the staged lane")
+	}
+	// Lane 1 never stepped: still ambient.
+	for _, v := range b.Lane(1).Temperatures() {
+		if v != fp.Net.Ambient() {
+			t.Fatal("un-stepped lane was modified by Advance")
+		}
+	}
+}
+
+func TestBatchStepperErrors(t *testing.T) {
+	fp := QuadCoreFloorplan(DefaultFloorplanConfig())
+	if _, err := NewBatchStepper(fp.Net, 0.01, 0); err == nil {
+		t.Error("lanes=0 should error")
+	}
+	if _, err := NewBatchStepper(fp.Net, -1, 4); err == nil {
+		t.Error("negative dt should error")
+	}
+	b, err := NewBatchStepper(fp.Net, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, fp.Net.NumNodes())
+	if err := b.Lane(0).Step(0.02, p); err == nil {
+		t.Error("mismatched dt should error")
+	}
+	if err := b.Lane(0).Step(0.01, p[:2]); err == nil {
+		t.Error("short power vector should error")
+	}
+}
+
+func TestBatchAdvanceAllocFree(t *testing.T) {
+	fp := GridFloorplan(4, 4, DefaultFloorplanConfig())
+	n := fp.Net.NumNodes()
+	const lanes = 8
+	b, err := NewBatchStepper(fp.Net, 0.01, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, n)
+	step := 0
+	tick := func() {
+		for k := 0; k < lanes; k++ {
+			drivePower(p, k, step)
+			if err := b.Lane(k).Step(0.01, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.Advance()
+		step++
+	}
+	tick() // warm up
+	if allocs := testing.AllocsPerRun(100, tick); allocs != 0 {
+		t.Fatalf("steady batch step allocates %.1f times per tick, want 0", allocs)
+	}
+}
